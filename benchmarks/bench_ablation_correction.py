@@ -1,0 +1,34 @@
+"""Bench (ablation): §3.3 selective error correction.
+
+Workload: GeAr(16,2,2) (k=7) over 50 000 uniform additions, sweeping the
+error-control enable mask from no correction to full correction (MSB
+first).  Asserts the latency/accuracy trade-off the control signal exists
+to provide.
+"""
+
+from repro.experiments.ablation import (
+    render_correction_policy_ablation,
+    run_correction_policy_ablation,
+)
+
+
+def test_ablation_correction_policy(benchmark, archive):
+    rows = benchmark(run_correction_policy_ablation)
+    archive("ablation_correction", render_correction_policy_ablation(rows))
+
+    # Residual error falls monotonically as sub-adders are enabled...
+    neds = [r.residual_ned for r in rows]
+    assert neds == sorted(neds, reverse=True)
+    # ...while cycle cost rises monotonically.
+    cycles = [r.mean_cycles for r in rows]
+    assert cycles == sorted(cycles)
+
+    # Endpoints: no correction = 1 cycle; full correction = exact.
+    assert rows[0].mean_cycles == 1.0
+    assert rows[-1].residual_error_rate == 0.0
+
+    # The first MSB enable removes the most NED per cycle spent — the
+    # rationale for MSB-first selective correction.
+    gain_first = rows[0].residual_ned - rows[1].residual_ned
+    gain_last = rows[-2].residual_ned - rows[-1].residual_ned
+    assert gain_first > gain_last

@@ -1,0 +1,35 @@
+"""Bench: Fig. 1 — design-space comparison for N=16, R ∈ {2, 4}.
+
+Workload: enumerate every reachable (R, P) accuracy configuration per
+architecture.  Asserts the paper's counts: ACA-II/ETAII collapse to one
+point, GDA to multiples of R, GeAr covers the whole P axis.
+"""
+
+from repro.experiments.fig1 import render_fig1, run_fig1
+
+
+def test_fig1_design_space(benchmark, archive):
+    panels = benchmark(run_fig1)
+    archive("fig1", render_fig1(panels))
+
+    by_r = {panel.r: panel for panel in panels}
+
+    # Panel (a): R = 2.
+    a = by_r[2]
+    assert a.counts["GeAr"] == 13
+    assert a.counts["GDA"] == 6
+    assert a.counts["ACA-II"] == a.counts["ETAII"] == 1
+    assert a.counts["ACA-I"] == 0
+    assert a.points_per_architecture["GDA"] == [2, 4, 6, 8, 10, 12]
+    assert a.points_per_architecture["ACA-II"] == [2]
+
+    # Panel (b): R = 4.
+    b = by_r[4]
+    assert b.counts["GeAr"] == 11
+    assert b.counts["GDA"] == 2
+    assert b.points_per_architecture["GDA"] == [4, 8]
+
+    # GeAr strictly dominates everywhere.
+    for panel in panels:
+        for arch in ("GDA", "ACA-II", "ETAII", "ACA-I"):
+            assert panel.counts["GeAr"] > panel.counts[arch]

@@ -1,0 +1,34 @@
+"""Bench: Fig. 7 — probabilistic accuracy vs prediction bits (N=16).
+
+Workload: the four panels R ∈ {2, 3, 4, 8}, sweeping P with the analytic
+error model.  Asserts monotone accuracy, GDA's sparse subset, and the
+specific percentages §4.1 quotes from the figure.
+"""
+
+import pytest
+
+from repro.experiments.fig7 import render_fig7, run_fig7
+
+
+def test_fig7_accuracy_sweep(benchmark, archive):
+    panels = benchmark(run_fig7)
+    archive("fig7", render_fig7(panels))
+
+    assert set(panels) == {2, 3, 4, 8}
+    for r, points in panels.items():
+        accs = [pt.accuracy_pct for pt in points]
+        assert accs == sorted(accs)          # more P, more accuracy
+        assert accs[-1] > 99.0               # deepest prediction ~exact
+        gda_points = [pt for pt in points if pt.gda]
+        assert gda_points                     # GDA reaches some points...
+        assert len(gda_points) < len(points)  # ...but not all (the gap)
+        assert all(pt.p % r == 0 for pt in gda_points)
+
+    acc = {(pt.r, pt.p): pt.accuracy_pct
+           for pts in panels.values() for pt in pts}
+    # §4.1's quoted numbers: ~51 % at (2,2), ~97 % at (2,6), ~94 % at (4,4).
+    assert acc[(2, 2)] == pytest.approx(52.2, abs=2.5)
+    assert acc[(2, 6)] == pytest.approx(97.0, abs=1.0)
+    assert acc[(4, 4)] == pytest.approx(94.0, abs=1.5)
+    # And the (2,6) > (4,4) comparison at equal sub-adder length L=8.
+    assert acc[(2, 6)] > acc[(4, 4)]

@@ -1,0 +1,22 @@
+"""Bench: Fig. 8 — Delay × NED of GeAr vs GDA per 8-bit configuration.
+
+Workload: derived from the Table II rows.  Asserts the figure's claim:
+GeAr achieves the better (lower) Delay×NED on every configuration.
+"""
+
+from repro.experiments.fig8 import render_fig8, run_fig8
+from repro.experiments.table2 import run_table2
+
+
+def test_fig8_delay_ned(benchmark, archive):
+    rows = run_table2()
+    points = benchmark(run_fig8, rows)
+    archive("fig8", render_fig8(points))
+
+    assert len(points) == 8
+    for pt in points:
+        assert pt.gear_wins, f"GDA beat GeAr at ({pt.r},{pt.p})"
+    # At least half the configurations show a >1.3x advantage, echoing the
+    # paper's chart where GDA bars tower over GeAr's.
+    strong = [pt for pt in points if pt.improvement > 1.3]
+    assert len(strong) >= len(points) // 2

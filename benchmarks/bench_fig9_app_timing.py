@@ -1,0 +1,36 @@
+"""Bench: Fig. 9 — predicted frame times for Image Integral / SAD / LPF.
+
+Workload: for each application's (N, L) sizing, predict full-HD frame
+times for ACA-I/ACA-II/ETAII/GDA/GeAr/RCA from delay × error probability ×
+sub-adder count.  Asserts GeAr's wins and GDA's losses across all three
+panels, as the figure shows.
+"""
+
+from repro.experiments.fig9 import render_fig9, run_fig9
+
+
+def test_fig9_app_timing(benchmark, archive):
+    panels = benchmark(run_fig9)
+    archive("fig9", render_fig9(panels))
+
+    assert set(panels) == {"image_integral", "sad", "lpf"}
+    for app, rows in panels.items():
+        by_adder = {r.adder: r for r in rows}
+        rca = by_adder["RCA"]
+        gear = by_adder["GeAr"]
+        gda = by_adder["GDA"]
+
+        # GeAr's speculative path is shorter than RCA's full carry chain.
+        assert gear.timing.approximate_s < rca.timing.approximate_s
+        # GDA's CLA prediction makes it the slowest adder in every panel.
+        assert gda.timing.approximate_s == max(
+            r.timing.approximate_s for r in rows
+        )
+        # Error-corrected timings stay ordered best <= average <= worst.
+        for r in rows:
+            assert r.timing.best_s <= r.timing.average_s <= r.timing.worst_s
+
+    # Wider words (integral, N=20) take longer per addition than narrower
+    # ones (LPF, N=12) for the exact adder.
+    assert panels["image_integral"][-1].timing.approximate_s > \
+        panels["lpf"][-1].timing.approximate_s

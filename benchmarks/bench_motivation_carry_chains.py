@@ -1,0 +1,67 @@
+"""Bench (motivation): §1's carry-chain rarity claim, quantified.
+
+The paper's premise: "for a 64-bit addition the carry propagation chain of
+64 bits is a very rare case".  This bench computes the exact longest-chain
+statistics for uniform operands and derives the designer's numbers — how
+short a sub-adder may be for a given miss rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.carrychain import (
+    chain_coverage_table,
+    expected_longest_chain,
+    prob_longest_chain_at_most,
+    required_chain_for_coverage,
+)
+from repro.analysis.tables import format_table
+from repro.utils.bitvec import longest_carry_chain
+
+
+def _run():
+    rows = []
+    for n in (16, 32, 64, 128):
+        coverage = chain_coverage_table(n, [4, 8, 12, 16])
+        rows.append(
+            (
+                n,
+                f"{expected_longest_chain(n):.2f}",
+                f"{coverage[8]:.2e}",
+                f"{coverage[16]:.2e}",
+                required_chain_for_coverage(n, 1e-2),
+                required_chain_for_coverage(n, 1e-4),
+            )
+        )
+    return rows
+
+
+def test_motivation_carry_chains(benchmark, archive):
+    rows = benchmark(_run)
+    archive(
+        "motivation_chains",
+        format_table(
+            ["N", "E[longest chain]", "P(chain>8)", "P(chain>16)",
+             "L for 1% miss", "L for 0.01% miss"],
+            rows,
+            title="Motivation — longest carry chain statistics (uniform operands)",
+        ),
+    )
+
+    by_n = {r[0]: r for r in rows}
+    # §1's claim: a full 64-bit chain is essentially impossible.
+    assert 1.0 - prob_longest_chain_at_most(64, 63) < 1e-15
+    # Expected chains grow ~log2(N): doubling N adds ~1 bit.
+    assert float(by_n[32][1]) - float(by_n[16][1]) < 2.0
+    # A ~10-bit sub-adder suffices for <1% misses even at 64 bits — the
+    # sizing Table IV uses (L = 10 for N = 20).
+    assert by_n[64][4] <= 12
+
+    # Cross-check the DP against simulation at N=64.
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 1 << 62, size=100_000, dtype=np.int64) << 2
+    a |= rng.integers(0, 4, size=100_000, dtype=np.int64)
+    b = rng.integers(0, 1 << 62, size=100_000, dtype=np.int64) << 2
+    b |= rng.integers(0, 4, size=100_000, dtype=np.int64)
+    measured = float(np.mean(longest_carry_chain(a, b, 64) <= 8))
+    assert measured == pytest.approx(prob_longest_chain_at_most(64, 8), abs=5e-3)

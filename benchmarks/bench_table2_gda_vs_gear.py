@@ -1,0 +1,38 @@
+"""Bench: Table II — GDA vs GeAr for 8-bit adders.
+
+Workload: the paper's eight (M_B/R, M_C/P) pairs; NED by exhaustive
+65 536-pair simulation, delay/LUTs from netlist characterisation (GDA with
+genuine CLA prediction units).  Asserts identical error behaviour at equal
+parameters and GDA's delay/area penalty.
+"""
+
+import pytest
+
+from repro.experiments.table2 import render_table2, run_table2
+
+
+def test_table2_gda_vs_gear(benchmark, archive):
+    rows = benchmark(run_table2)
+    archive("table2", render_table2(rows))
+
+    gda = {(r.r, r.p): r for r in rows if r.architecture == "GDA"}
+    gear = {(r.r, r.p): r for r in rows if r.architecture == "GeAr"}
+    assert set(gda) == set(gear)
+
+    for key in gda:
+        # Identical accuracy at equal parameters (Table II's NED columns).
+        assert gda[key].med == pytest.approx(gear[key].med, rel=1e-9)
+        # GDA pays delay for CLA prediction.
+        assert gda[key].delay_ns >= gear[key].delay_ns
+
+    # The paper-normalised NED reproduces the printed values on the
+    # reference entries.
+    expected = {(1, 3): 0.0585, (1, 4): 0.0273, (1, 5): 0.0117,
+                (1, 6): 0.0039, (2, 2): 0.1171, (2, 4): 0.0234}
+    for key, value in expected.items():
+        assert gear[key].ned_paper_convention == pytest.approx(value, abs=2e-3)
+
+    # NED halves (roughly) per extra prediction bit for R=1.
+    neds = [gear[(1, p)].ned_paper_convention for p in range(1, 7)]
+    assert neds == sorted(neds, reverse=True)
+    assert neds[0] / neds[-1] > 30

@@ -1,0 +1,20 @@
+"""Bench: Table III — analytic vs simulated error probability.
+
+Workload: the paper's four (N, R, P) configurations, 10 000 uniform input
+patterns each (§4.4 protocol).  Asserts that the analytic column matches
+the paper to its printed precision.
+"""
+
+import pytest
+
+from repro.experiments.table3 import render_table3, run_table3
+
+
+def test_table3_error_probability(benchmark, archive):
+    rows = benchmark(run_table3)
+    archive("table3", render_table3(rows))
+    for row in rows:
+        assert row.analytic_pct == pytest.approx(row.paper_analytic_pct,
+                                                 abs=5e-3)
+        # Simulated column consistent with the model at 10k samples.
+        assert abs(row.simulated_pct - row.analytic_pct) < 0.5

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artefact (table or figure), wraps the
+computation in pytest-benchmark for timing, prints the reproduced rows, and
+archives them under ``benchmarks/output/`` so EXPERIMENTS.md can quote a
+stable copy.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def archive():
+    """Fixture: print a reproduced artefact and save it under output/."""
+
+    def _archive(name: str, text: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _archive

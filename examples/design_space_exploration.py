@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Design-space exploration: pick the cheapest adder meeting a quality bar.
+
+This is the workflow the paper's introduction motivates: a designer has an
+accuracy requirement and wants the configuration with the least delay/area
+that meets it.  The script sweeps every GeAr configuration for a 16-bit
+datapath, extracts the Pareto frontier over (error, delay, area), and
+answers three concrete accuracy queries.
+"""
+
+from repro.analysis.pareto import pareto_front, select_config
+from repro.analysis.sweep import sweep_gear_configs
+from repro.analysis.tables import format_table
+from repro.core.coverage import classify_config
+from repro.core.gear import GeArConfig
+
+
+def main() -> None:
+    results = sweep_gear_configs(16, with_hardware=True)
+    print(f"evaluated {len(results)} GeAr configurations for N=16")
+
+    front = pareto_front(results)
+    front.sort(key=lambda r: r.error_probability)
+    print("\nPareto frontier (error probability vs delay vs LUTs):")
+    rows = []
+    for r in front:
+        strict = (16 - r.r - r.p) % r.r == 0
+        cfg = GeArConfig(16, r.r, r.p, allow_partial=not strict)
+        rows.append(
+            (f"({r.r},{r.p})", r.k, f"{r.accuracy_pct:.4f}",
+             f"{r.delay_ns:.3f}", r.luts, ", ".join(classify_config(cfg)))
+        )
+    print(format_table(
+        ["config", "k", "accuracy %", "delay ns", "LUTs", "covers"], rows
+    ))
+
+    print("\nAccuracy queries (cheapest qualifying config by delay, then LUTs):")
+    for target in (90.0, 99.0, 99.9):
+        best = select_config(results, min_accuracy_pct=target)
+        if best is None:
+            print(f"  >= {target:5.1f}%: no configuration qualifies")
+        else:
+            print(f"  >= {target:5.1f}%: GeAr({best.r},{best.p})  "
+                  f"accuracy={best.accuracy_pct:.4f}%  "
+                  f"delay={best.delay_ns:.3f} ns  LUTs={best.luts}")
+
+
+if __name__ == "__main__":
+    main()

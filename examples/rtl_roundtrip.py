@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""RTL flow: generate Verilog, parse it back, prove equivalence, time it.
+
+The paper open-sources synthesizable RTL for its adders; this example
+regenerates that artefact from the Python models and closes the loop:
+
+1. build the GeAr(16,4,4) netlist gate by gate,
+2. emit structural Verilog (written next to this script),
+3. re-parse the emitted Verilog into a fresh netlist,
+4. check bit-exact equivalence against the behavioural model on random
+   vectors plus directed corner cases,
+5. report static timing and LUT estimates for both netlists.
+"""
+
+import pathlib
+
+import numpy as np
+
+from repro import GeArAdder, GeArConfig
+from repro.rtl.sim import simulate_bus
+from repro.rtl.verilog import to_verilog
+from repro.rtl.verilog_parser import parse_verilog
+from repro.timing.fpga import characterize_netlist
+
+
+def main() -> None:
+    adder = GeArAdder(GeArConfig(16, 4, 4))
+    netlist = adder.build_netlist()
+    assert netlist is not None
+
+    source = to_verilog(netlist)
+    out_path = pathlib.Path(__file__).with_name("gear_16_4_4.v")
+    out_path.write_text(source)
+    print(f"emitted {len(source.splitlines())} lines of Verilog "
+          f"-> {out_path.name}")
+
+    parsed = parse_verilog(source)
+
+    rng = np.random.default_rng(2015)
+    a = rng.integers(0, 1 << 16, size=20_000, dtype=np.int64)
+    b = rng.integers(0, 1 << 16, size=20_000, dtype=np.int64)
+    corners = np.array([0, 1, 0x00FF, 0x0FF0, 0xFFFF, 0xAAAA, 0x5555],
+                       dtype=np.int64)
+    a = np.concatenate([a, corners, corners[::-1]])
+    b = np.concatenate([b, corners[::-1], corners])
+
+    behavioural = np.asarray(adder.add(a, b))
+    original = simulate_bus(netlist, {"A": a, "B": b}, "S")
+    roundtrip = simulate_bus(parsed, {"A": a, "B": b}, "S")
+
+    assert np.array_equal(behavioural, original), "netlist != behavioural model"
+    assert np.array_equal(behavioural, roundtrip), "round-trip changed behaviour"
+    print(f"equivalence verified on {len(a)} vectors "
+          "(behavioural == netlist == parsed Verilog)")
+
+    for label, nl in (("generated", netlist), ("re-parsed", parsed)):
+        char = characterize_netlist(nl, name=label)
+        print(f"{label:10s}: delay={char.delay_ns:.3f} ns  LUTs={char.luts}  "
+              f"gates={char.gates}  depth={char.logic_depth}")
+
+    err_nets = netlist.output_buses.get("ERR", [])
+    print(f"error-detection outputs: {len(err_nets)} "
+          "(one AND flag per speculative sub-adder, §3.3)")
+
+
+if __name__ == "__main__":
+    main()

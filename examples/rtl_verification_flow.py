@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""A complete RTL verification flow for a generated GeAr adder.
+
+What a hardware team would run before taping the open-sourced RTL into a
+design:
+
+1. build the netlist and *prove* it equivalent to the behavioural model
+   (exhaustive — every input pattern — for this 10-bit instance),
+2. emit Verilog, parse it back, prove the round trip equivalent too,
+3. stuck-at fault simulation: coverage and how much the §3.3 error
+   detector observes for free,
+4. emit a self-checking Verilog testbench for an external simulator.
+"""
+
+import pathlib
+
+from repro.core.gear import GeArAdder, GeArConfig
+from repro.rtl.builders import build_gear
+from repro.rtl.equivalence import check_equivalence
+from repro.rtl.faults import fault_simulation
+from repro.rtl.sim import simulate_bus
+from repro.rtl.testbench import generate_testbench
+from repro.rtl.verilog import to_verilog
+from repro.rtl.verilog_parser import parse_verilog
+
+import numpy as np
+
+
+def main() -> None:
+    config = GeArConfig(10, 2, 4)
+    adder = GeArAdder(config)
+    netlist = build_gear(10, 2, 4)
+
+    # 1. netlist vs behavioural model, exhaustively (2^20 patterns).
+    size = 1 << 10
+    vals = np.arange(size, dtype=np.int64)
+    a = np.repeat(vals, size)
+    b = np.tile(vals, size)
+    assert np.array_equal(
+        simulate_bus(netlist, {"A": a, "B": b}, "S"),
+        np.asarray(adder.add(a, b)),
+    )
+    print(f"[1] netlist == behavioural model on all {size * size} patterns")
+
+    # 2. Verilog round trip, proven equivalent.
+    source = to_verilog(netlist)
+    parsed = parse_verilog(source)
+    report = check_equivalence(netlist, parsed)
+    assert report.equivalent and report.exhaustive
+    print(f"[2] Verilog round trip proven equivalent "
+          f"({report.vectors_checked} patterns, exhaustive)")
+
+    # 3. stuck-at fault campaign.
+    faults = fault_simulation(netlist, vectors=256, seed=11)
+    print(f"[3] stuck-at faults: {faults.total} total, "
+          f"coverage {faults.coverage:.1%}, "
+          f"ERR-flag observability {faults.err_observability:.1%}")
+    if faults.undetected:
+        sample = ", ".join(str(f) for f in faults.undetected[:4])
+        print(f"    undetectable (redundant logic): {sample}"
+              f"{' ...' if len(faults.undetected) > 4 else ''}")
+
+    # 4. artefacts for an external simulator.
+    out_dir = pathlib.Path(__file__).parent
+    (out_dir / "gear_10_2_4.v").write_text(source)
+    (out_dir / "gear_10_2_4_tb.v").write_text(
+        generate_testbench(netlist, vectors=100)
+    )
+    print("[4] wrote gear_10_2_4.v and gear_10_2_4_tb.v "
+          "(run: iverilog gear_10_2_4_tb.v gear_10_2_4.v && ./a.out)")
+
+
+if __name__ == "__main__":
+    main()

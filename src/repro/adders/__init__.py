@@ -1,0 +1,43 @@
+"""Behavioural models of every adder the paper evaluates.
+
+All adders share the :class:`~repro.adders.base.AdderModel` interface:
+``add(a, b)`` computes the (approximate) sum for scalars or NumPy arrays,
+``build_netlist()`` returns the gate-level implementation, and
+``error_probability()`` returns the analytic error rate where the paper's
+model applies.
+
+Baselines: RCA, CLA (exact); ACA-I [8]; ETAI, ETAII, ETAIIM [9];
+ACA-II [10]; GDA [13]; LOA [12].  The GeAr adder itself lives in
+:mod:`repro.core`.
+"""
+
+from repro.adders.base import AdderModel, ExactAdder, SpeculativeWindow, WindowedSpeculativeAdder
+from repro.adders.rca import RippleCarryAdder
+from repro.adders.cla import CarryLookaheadAdder
+from repro.adders.aca1 import AlmostCorrectAdder
+from repro.adders.aca2 import AccuracyConfigurableAdder
+from repro.adders.etai import ErrorTolerantAdderI
+from repro.adders.etaii import ErrorTolerantAdderII
+from repro.adders.etaiim import ErrorTolerantAdderIIM
+from repro.adders.gda import GracefullyDegradingAdder
+from repro.adders.loa import LowerPartOrAdder
+from repro.adders.prefix import CarrySelectAdder, CarrySkipAdder, KoggeStoneAdder
+
+__all__ = [
+    "AdderModel",
+    "ExactAdder",
+    "SpeculativeWindow",
+    "WindowedSpeculativeAdder",
+    "RippleCarryAdder",
+    "CarryLookaheadAdder",
+    "AlmostCorrectAdder",
+    "AccuracyConfigurableAdder",
+    "ErrorTolerantAdderI",
+    "ErrorTolerantAdderII",
+    "ErrorTolerantAdderIIM",
+    "GracefullyDegradingAdder",
+    "LowerPartOrAdder",
+    "KoggeStoneAdder",
+    "CarrySelectAdder",
+    "CarrySkipAdder",
+]

@@ -1,0 +1,42 @@
+"""ACA-I, the Almost Correct Adder of Verma et al. [8].
+
+Overlapping L-bit sub-adders shifted by one bit, each contributing a single
+resultant bit — i.e. GeAr(N, R=1, P=L-1) in the unified model (§3.1).
+"""
+
+from __future__ import annotations
+
+from repro.adders.base import WindowedSpeculativeAdder
+from repro.core.gear import GeArConfig
+
+
+class AlmostCorrectAdder(WindowedSpeculativeAdder):
+    """ACA-I with sub-adder length ``sub_adder_len``.
+
+    The one-bit shift means N - L + 1 sub-adders and large input fan-out —
+    the area overhead the paper notes in §2.
+    """
+
+    def __init__(self, width: int, sub_adder_len: int) -> None:
+        if sub_adder_len < 2:
+            raise ValueError("ACA-I needs sub_adder_len >= 2")
+        if sub_adder_len > width:
+            raise ValueError(
+                f"sub_adder_len {sub_adder_len} exceeds operand width {width}"
+            )
+        self.config = GeArConfig(width, 1, sub_adder_len - 1)
+        super().__init__(
+            width, f"ACA-I(N={width},L={sub_adder_len})", self.config.windows()
+        )
+        self.sub_adder_len = sub_adder_len
+
+    def error_probability(self) -> float:
+        from repro.core.error_model import error_probability
+
+        return error_probability(self.config)
+
+    def build_netlist(self):
+        from repro.rtl.builders import build_aca1
+
+        return build_aca1(self.width, self.sub_adder_len,
+                          name=f"aca1_{self.width}_{self.sub_adder_len}")

@@ -1,0 +1,39 @@
+"""ACA-II, the Accuracy Configurable Adder of Kahng and Kang [10].
+
+Overlapping L-bit sub-adders, each contributing its top L/2 bits —
+GeAr(N, R=L/2, P=L/2) in the unified model (§3.1).
+"""
+
+from __future__ import annotations
+
+from repro.adders.base import WindowedSpeculativeAdder
+from repro.core.gear import GeArConfig
+
+
+class AccuracyConfigurableAdder(WindowedSpeculativeAdder):
+    """ACA-II with sub-adder length ``sub_adder_len`` (must be even)."""
+
+    def __init__(self, width: int, sub_adder_len: int, allow_partial: bool = False) -> None:
+        if sub_adder_len % 2 != 0:
+            raise ValueError("ACA-II needs an even sub-adder length")
+        if sub_adder_len > width:
+            raise ValueError(
+                f"sub_adder_len {sub_adder_len} exceeds operand width {width}"
+            )
+        half = sub_adder_len // 2
+        self.config = GeArConfig(width, half, half, allow_partial=allow_partial)
+        super().__init__(
+            width, f"ACA-II(N={width},L={sub_adder_len})", self.config.windows()
+        )
+        self.sub_adder_len = sub_adder_len
+
+    def error_probability(self) -> float:
+        from repro.core.error_model import error_probability
+
+        return error_probability(self.config)
+
+    def build_netlist(self):
+        from repro.rtl.builders import build_aca2
+
+        return build_aca2(self.width, self.sub_adder_len,
+                          name=f"aca2_{self.width}_{self.sub_adder_len}")

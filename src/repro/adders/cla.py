@@ -1,0 +1,24 @@
+"""Carry-lookahead adder — exact, used as GDA's carry-prediction substrate."""
+
+from __future__ import annotations
+
+from repro.adders.base import ExactAdder
+
+
+class CarryLookaheadAdder(ExactAdder):
+    """Exact N-bit single-level carry-lookahead adder.
+
+    Functionally identical to RCA; structurally it trades the serial carry
+    chain for wide AND-OR trees.  On FPGAs those trees map to general LUTs
+    rather than the dedicated carry chain, which is why GDA (whose
+    prediction units are CLAs) is *slower* than RCA in Table I — the
+    netlist built here reproduces that inversion.
+    """
+
+    def __init__(self, width: int) -> None:
+        super().__init__(width, f"CLA(N={width})")
+
+    def build_netlist(self):
+        from repro.rtl.builders import build_cla
+
+        return build_cla(self.width, name=f"cla_{self.width}")

@@ -1,0 +1,72 @@
+"""ETAI, the first Error Tolerant Adder of Zhu et al. [9].
+
+The word is split into an accurate upper part and an inaccurate lower
+part.  The upper part is added exactly (no carry in from below).  The
+lower part is processed *from its MSB towards the LSB*: bits add without
+carry (XOR) until the first position where both operands are 1; from that
+position down, every sum bit is forced to 1.
+
+This is the adder whose poor behaviour on small inputs motivated ETAII
+(§2); it is included for completeness of the baseline library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adders.base import AdderModel, IntLike
+from repro.utils.bitvec import mask
+
+
+class ErrorTolerantAdderI(AdderModel):
+    """ETAI with ``split`` inaccurate low bits (0 <= split < width)."""
+
+    def __init__(self, width: int, split: int) -> None:
+        if not 0 <= split < width:
+            raise ValueError(f"split must be in [0, {width}), got {split}")
+        super().__init__(width, f"ETAI(N={width},split={split})")
+        self.split = split
+
+    def _add_impl(self, a: IntLike, b: IntLike) -> IntLike:
+        split = self.split
+        high = (a >> split) + (b >> split)
+        if split == 0:
+            return high
+        a_low = a & mask(split)
+        b_low = b & mask(split)
+        both = a_low & b_low
+        if isinstance(both, np.ndarray):
+            low = self._low_part_array(a_low, b_low, both)
+        else:
+            low = self._low_part_scalar(a_low, b_low, both)
+        return (high << split) | low
+
+    def _low_part_scalar(self, a_low: int, b_low: int, both: int) -> int:
+        if both == 0:
+            return a_low ^ b_low
+        top_both = both.bit_length() - 1  # highest position with two 1s
+        forced = mask(top_both + 1)
+        return ((a_low ^ b_low) & ~forced) | forced
+
+    def _low_part_array(self, a_low: np.ndarray, b_low: np.ndarray,
+                        both: np.ndarray) -> np.ndarray:
+        xor = a_low ^ b_low
+        # Highest set bit of `both`: smear it downward, giving the forced mask.
+        smear = both.copy()
+        shift = 1
+        while shift < self.split:
+            smear |= smear >> shift
+            shift <<= 1
+        if self.split > 1:
+            smear |= smear >> 1
+        return np.where(both > 0, (xor & ~smear) | smear, xor)
+
+    def max_error_distance(self) -> int:
+        """Worst-case |approx - exact|.
+
+        The inaccurate part can be off by nearly 2**(split+1): the true low
+        sum ranges over [0, 2**(split+1) - 2] while the forced pattern is
+        within [0, 2**split - 1], and the lost carry into the accurate part
+        is worth another 2**split.
+        """
+        return (1 << (self.split + 1)) - 1 if self.split else 0

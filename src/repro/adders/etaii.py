@@ -1,0 +1,43 @@
+"""ETAII, the second Error Tolerant Adder of Zhu et al. [9].
+
+The word is split into non-overlapping L/2-bit segments; each segment's sum
+uses a carry predicted by a *carry generator* over the L/2 bits below it,
+bounding carry propagation to L bits.  In the unified model this is
+GeAr(N, R=L/2, P=L/2) (§3.1) — functionally identical to ACA-II, differing
+only in how the hardware shares logic (non-overlapping sum units plus
+separate carry generators, reflected in the netlist/area model).
+"""
+
+from __future__ import annotations
+
+from repro.adders.base import WindowedSpeculativeAdder
+from repro.core.gear import GeArConfig
+
+
+class ErrorTolerantAdderII(WindowedSpeculativeAdder):
+    """ETAII with total sub-adder window length ``sub_adder_len`` (even)."""
+
+    def __init__(self, width: int, sub_adder_len: int, allow_partial: bool = False) -> None:
+        if sub_adder_len % 2 != 0:
+            raise ValueError("ETAII needs an even sub-adder length")
+        if sub_adder_len > width:
+            raise ValueError(
+                f"sub_adder_len {sub_adder_len} exceeds operand width {width}"
+            )
+        half = sub_adder_len // 2
+        self.config = GeArConfig(width, half, half, allow_partial=allow_partial)
+        super().__init__(
+            width, f"ETAII(N={width},L={sub_adder_len})", self.config.windows()
+        )
+        self.sub_adder_len = sub_adder_len
+
+    def error_probability(self) -> float:
+        from repro.core.error_model import error_probability
+
+        return error_probability(self.config)
+
+    def build_netlist(self):
+        from repro.rtl.builders import build_etaii
+
+        return build_etaii(self.width, self.sub_adder_len,
+                           name=f"etaii_{self.width}_{self.sub_adder_len}")

@@ -1,0 +1,139 @@
+"""GDA, the Gracefully Degrading Adder of Ye et al. [13].
+
+The operands split into non-overlapping M_B-bit blocks.  The carry into
+each block is selected (by multiplexers) between the previous block's
+carry-out and a *carry-lookahead prediction* computed over the M_C bits
+below the block boundary.  This library models the uniform configuration
+the paper compares against (every block predicting over the same M_C bits,
+approximate mode selected), which GeAr covers with (R=M_B, P=M_C) — §3.1.
+
+The behavioural result is a windowed speculative adder whose windows are
+aligned to block boundaries; the netlist (``build_gda``) uses genuine CLA
+prediction units, which is what costs GDA its delay and area in Tables I
+and II.
+
+:meth:`GracefullyDegradingAdder.add_with_selects` models the *graceful
+degradation* itself: the per-block carry muxes that let the system chain
+any subset of blocks accurately at runtime (all selects accurate = exact
+RCA behaviour, all approximate = the speculative adder above).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.adders.base import IntLike, SpeculativeWindow, WindowedSpeculativeAdder
+from repro.core.gear import GeArConfig
+from repro.utils.bitvec import mask
+
+
+class GracefullyDegradingAdder(WindowedSpeculativeAdder):
+    """GDA(M_B, M_C) in uniform approximate mode.
+
+    Args:
+        width: operand width N; must be a multiple of ``mb``.
+        mb: block (sub-adder) size M_B.
+        mc: carry-prediction depth M_C.  GDA's hierarchical CLA restricts
+            M_C to multiples of M_B; pass ``enforce_multiple=False`` to
+            explore hypothetical points outside the architecture.
+    """
+
+    def __init__(self, width: int, mb: int, mc: int,
+                 enforce_multiple: bool = True) -> None:
+        if width % mb != 0:
+            raise ValueError(f"GDA needs width divisible by M_B: {width} % {mb} != 0")
+        if mc < 1 or mc > width - mb:
+            raise ValueError(f"M_C must be in [1, {width - mb}], got {mc}")
+        if enforce_multiple and mc % mb != 0:
+            raise ValueError(
+                f"GDA's hierarchical CLA needs M_C to be a multiple of M_B "
+                f"(got M_C={mc}, M_B={mb}); pass enforce_multiple=False to override"
+            )
+        self.mb = mb
+        self.mc = mc
+
+        windows: List[SpeculativeWindow] = []
+        for base in range(0, width, mb):
+            lo = max(0, base - mc)
+            windows.append(SpeculativeWindow(lo, base + mb - 1, base, base + mb - 1))
+        super().__init__(width, f"GDA(N={width},MB={mb},MC={mc})", windows)
+
+    def error_probability(self) -> float:
+        """§4.4 applies the GeAr error model to GDA at (R=M_B, P=M_C)."""
+        from repro.core.error_model import error_probability
+
+        strict = (self.width - self.mb - self.mc) % self.mb == 0
+        cfg = GeArConfig(self.width, self.mb, self.mc, allow_partial=not strict)
+        return error_probability(cfg)
+
+    @property
+    def block_count(self) -> int:
+        return self.width // self.mb
+
+    def add_with_selects(self, a: IntLike, b: IntLike,
+                         accurate: Optional[Sequence[bool]] = None) -> IntLike:
+        """Addition with per-block carry-source selection ([13]'s muxes).
+
+        Args:
+            a, b: operands (scalars or arrays).
+            accurate: one flag per block boundary (``block_count - 1``
+                entries, block 1 upward): True chains the previous block's
+                true carry-out (accurate, slower path), False uses the M_C
+                carry prediction (approximate).  ``None`` selects accurate
+                everywhere — the exact result.
+
+        The degradation is graceful in both directions: flipping one select
+        to accurate removes exactly that boundary's speculation.
+        """
+        scalar = not (isinstance(a, np.ndarray) or isinstance(b, np.ndarray))
+        a_arr = np.atleast_1d(np.asarray(a, dtype=np.int64))
+        b_arr = np.atleast_1d(np.asarray(b, dtype=np.int64))
+        a_arr, b_arr = (np.ascontiguousarray(x)
+                        for x in np.broadcast_arrays(a_arr, b_arr))
+        limit = mask(self.width)
+        if a_arr.size and (a_arr.min() < 0 or a_arr.max() > limit
+                           or b_arr.min() < 0 or b_arr.max() > limit):
+            raise ValueError(f"operands must fit in {self.width} bits")
+        boundaries = self.block_count - 1
+        if accurate is None:
+            accurate = [True] * boundaries
+        if len(accurate) != boundaries:
+            raise ValueError(
+                f"need {boundaries} select flags, got {len(accurate)}"
+            )
+
+        result = np.zeros(a_arr.shape, dtype=np.int64)
+        # The mux taps the previous block's *actual* carry-out — which may
+        # itself be tainted if that block ran on a prediction.  This is the
+        # hardware-faithful semantics: all-accurate selects chain into the
+        # exact sum, mixed selects degrade gracefully.
+        carry = np.zeros(a_arr.shape, dtype=np.int64)
+        local = np.zeros(a_arr.shape, dtype=np.int64)
+        for index, base in enumerate(range(0, self.width, self.mb)):
+            a_blk = (a_arr >> base) & mask(self.mb)
+            b_blk = (b_arr >> base) & mask(self.mb)
+            if index == 0:
+                cin = np.zeros(a_arr.shape, dtype=np.int64)
+            elif accurate[index - 1]:
+                cin = carry
+            else:
+                lo = max(0, base - self.mc)
+                span = base - lo
+                pred = (((a_arr >> lo) & mask(span))
+                        + ((b_arr >> lo) & mask(span))) >> span
+                cin = pred & 1
+            local = a_blk + b_blk + cin
+            result |= (local & mask(self.mb)) << base
+            carry = (local >> self.mb) & 1
+        result |= carry << self.width
+        if scalar:
+            return int(result[0])
+        return result
+
+    def build_netlist(self):
+        from repro.rtl.builders import build_gda
+
+        return build_gda(self.width, self.mb, self.mc,
+                         name=f"gda_{self.width}_{self.mb}_{self.mc}")

@@ -1,0 +1,46 @@
+"""LOA, the Lower-part OR Adder of Gupta et al. [12].
+
+The low ``approx_bits`` sum bits are simply ``a | b``; the upper part is an
+exact adder whose carry-in is ``a & b`` of the top approximate bit.  Cited
+by the paper as a representative precision-truncating design; included so
+the benchmark harness can show where segmentation-based adders (GeAr & co.)
+beat magnitude-truncating ones.
+"""
+
+from __future__ import annotations
+
+from repro.adders.base import AdderModel, IntLike
+from repro.utils.bitvec import mask
+
+
+class LowerPartOrAdder(AdderModel):
+    """LOA with ``approx_bits`` approximate low bits (0 disables)."""
+
+    def __init__(self, width: int, approx_bits: int) -> None:
+        if not 0 <= approx_bits < width:
+            raise ValueError(f"approx_bits must be in [0, {width}), got {approx_bits}")
+        super().__init__(width, f"LOA(N={width},approx={approx_bits})")
+        self.approx_bits = approx_bits
+
+    @property
+    def is_exact(self) -> bool:
+        return self.approx_bits == 0
+
+    def _add_impl(self, a: IntLike, b: IntLike) -> IntLike:
+        ab = self.approx_bits
+        if ab == 0:
+            return a + b
+        low = (a | b) & mask(ab)
+        carry_in = (a >> (ab - 1)) & (b >> (ab - 1)) & 1
+        high = (a >> ab) + (b >> ab) + carry_in
+        return (high << ab) | low
+
+    def max_error_distance(self) -> int:
+        """Worst case: all low sum bits and the carry-in wrong."""
+        return (1 << (self.approx_bits + 1)) - 1 if self.approx_bits else 0
+
+    def build_netlist(self):
+        from repro.rtl.builders import build_loa
+
+        return build_loa(self.width, self.approx_bits,
+                         name=f"loa_{self.width}_{self.approx_bits}")

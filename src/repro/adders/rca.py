@@ -1,0 +1,22 @@
+"""Ripple-carry adder — the paper's exact benchmark adder (Table I, RCA)."""
+
+from __future__ import annotations
+
+from repro.adders.base import ExactAdder
+
+
+class RippleCarryAdder(ExactAdder):
+    """Exact N-bit ripple-carry adder.
+
+    The carry chain spans all N bits, so this adder anchors the delay
+    comparison: every approximate adder must beat its critical path to be
+    worthwhile.
+    """
+
+    def __init__(self, width: int) -> None:
+        super().__init__(width, f"RCA(N={width})")
+
+    def build_netlist(self):
+        from repro.rtl.builders import build_rca
+
+        return build_rca(self.width, name=f"rca_{self.width}")

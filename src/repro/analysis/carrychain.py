@@ -1,0 +1,105 @@
+"""Carry-chain statistics — the quantitative version of the paper's §1.
+
+Every speculative adder rests on one observation: *the longest carry
+propagation chain of an N-bit addition is almost always much shorter than
+N*.  This module makes the observation precise for i.i.d. uniform
+operands:
+
+* :func:`prob_longest_chain_at_most` — P(longest chain ≤ ℓ), by dynamic
+  programming over per-bit generate/propagate/kill states,
+* :func:`longest_chain_distribution` — the full PMF,
+* :func:`expected_longest_chain` — E[longest chain] (≈ log2(N) + O(1),
+  the classic Burks-Goldstine-von-Neumann result),
+* :func:`required_chain_for_coverage` — the smallest ℓ such that a chain
+  longer than ℓ occurs with probability at most ``miss_rate`` (how a
+  designer picks a sub-adder length).
+
+A *chain* here is a generate followed by consecutive propagates; a chain
+of length ℓ starting at bit i disturbs bits up to i+ℓ-1.  An adder that
+resolves carries over windows of ℓ bits computes exactly the additions
+whose longest chain fits its windows — which is why these probabilities
+track the speculative adders' accuracy so closely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.utils.validation import check_pos_int
+
+
+def prob_longest_chain_at_most(n: int, limit: int) -> float:
+    """P(longest generate-propagate chain ≤ ``limit``) for N uniform bits.
+
+    DP over bit positions with state = length of the active chain ending at
+    the current bit (0 = no active chain); per bit, generate (1/4) starts a
+    chain of length 1, propagate (1/2) extends an active chain, kill or
+    non-propagate ends it.  Mass exceeding ``limit`` is absorbed into a
+    failure state.
+    """
+    check_pos_int("n", n)
+    if limit < 0:
+        raise ValueError(f"limit must be non-negative, got {limit}")
+    if limit >= n:
+        return 1.0
+    # state[j] = P(active chain length j, no chain > limit so far)
+    state = [0.0] * (limit + 1)
+    state[0] = 1.0
+    for _ in range(n):
+        nxt = [0.0] * (limit + 1)
+        for j, mass in enumerate(state):
+            if mass == 0.0:
+                continue
+            # generate: chain restarts at length 1
+            if limit >= 1:
+                nxt[1] += mass * 0.25
+            # kill (1/4), or propagate with no active chain
+            nxt[0] += mass * 0.25
+            if j == 0:
+                nxt[0] += mass * 0.5  # propagate without a chain
+            elif j < limit:
+                nxt[j + 1] += mass * 0.5  # propagate extends the chain
+            # j == limit and propagate -> chain exceeds limit: drop mass
+    # Note: `limit >= 1` always holds here (limit=0 handled below).
+        state = nxt
+    if limit == 0:
+        # No generate anywhere: every bit kills or propagates-without-chain.
+        return 0.75 ** n
+    return sum(state)
+
+
+def longest_chain_distribution(n: int) -> List[float]:
+    """PMF of the longest chain length: entry ℓ is P(longest == ℓ)."""
+    check_pos_int("n", n)
+    cdf = [prob_longest_chain_at_most(n, limit) for limit in range(n + 1)]
+    pmf = [cdf[0]] + [cdf[i] - cdf[i - 1] for i in range(1, n + 1)]
+    return pmf
+
+
+def expected_longest_chain(n: int) -> float:
+    """E[longest chain] for an N-bit uniform addition."""
+    pmf = longest_chain_distribution(n)
+    return sum(length * p for length, p in enumerate(pmf))
+
+
+def required_chain_for_coverage(n: int, miss_rate: float) -> int:
+    """Smallest ℓ with P(longest chain > ℓ) ≤ ``miss_rate``.
+
+    This is the designer's question behind every Fig. 7 curve: how long
+    must the resolved window be so that unresolved chains are rarer than
+    the application's error tolerance?
+    """
+    check_pos_int("n", n)
+    if not 0.0 < miss_rate < 1.0:
+        raise ValueError(f"miss_rate must be in (0, 1), got {miss_rate}")
+    for limit in range(n + 1):
+        if 1.0 - prob_longest_chain_at_most(n, limit) <= miss_rate:
+            return limit
+    return n
+
+
+def chain_coverage_table(n: int, limits: List[int]) -> Dict[int, float]:
+    """P(longest chain > ℓ) for each ℓ — the §1 motivation numbers."""
+    return {
+        limit: 1.0 - prob_longest_chain_at_most(n, limit) for limit in limits
+    }

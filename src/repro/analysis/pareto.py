@@ -1,0 +1,77 @@
+"""Pareto analysis over swept configurations.
+
+The design question the paper poses ("which adder meets my accuracy at the
+least delay/area?") is a multi-objective selection problem; these helpers
+extract the non-dominated frontier and answer threshold queries against it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.sweep import SweepResult
+
+#: Objective extractors: every objective is minimised.
+Objective = Callable[[SweepResult], float]
+
+
+def _default_objectives() -> Tuple[Objective, ...]:
+    return (
+        lambda r: r.error_probability,
+        lambda r: r.delay_ns if r.delay_ns is not None else float("inf"),
+        lambda r: float(r.luts) if r.luts is not None else float("inf"),
+    )
+
+
+def dominates(a: SweepResult, b: SweepResult,
+              objectives: Optional[Sequence[Objective]] = None) -> bool:
+    """True when ``a`` is at least as good as ``b`` everywhere and strictly
+    better somewhere (all objectives minimised)."""
+    objs = tuple(objectives) if objectives is not None else _default_objectives()
+    no_worse = all(o(a) <= o(b) for o in objs)
+    better = any(o(a) < o(b) for o in objs)
+    return no_worse and better
+
+
+def pareto_front(results: Sequence[SweepResult],
+                 objectives: Optional[Sequence[Objective]] = None) -> List[SweepResult]:
+    """Non-dominated subset of ``results``, in the original order."""
+    objs = tuple(objectives) if objectives is not None else _default_objectives()
+    front: List[SweepResult] = []
+    for candidate in results:
+        if not any(dominates(other, candidate, objs) for other in results):
+            front.append(candidate)
+    return front
+
+
+def select_config(
+    results: Sequence[SweepResult],
+    min_accuracy_pct: float,
+    cost: Optional[Objective] = None,
+) -> Optional[SweepResult]:
+    """Cheapest configuration meeting an accuracy requirement.
+
+    Args:
+        results: swept configurations.
+        min_accuracy_pct: required probabilistic accuracy (0..100).
+        cost: objective to minimise among qualifying configs; the default
+            minimises delay with LUTs as tie-breaker (falling back to
+            error probability when hardware numbers are missing).
+
+    Returns:
+        The best qualifying configuration, or ``None`` when nothing meets
+        the requirement.
+    """
+    if not 0.0 <= min_accuracy_pct <= 100.0:
+        raise ValueError(f"min_accuracy_pct must be in [0, 100], got {min_accuracy_pct}")
+
+    def default_cost(r: SweepResult) -> float:
+        if r.delay_ns is None:
+            return 1e6 + r.error_probability
+        return r.delay_ns + (r.luts or 0) * 1e-4
+
+    cost_fn = cost or default_cost
+    qualifying = [r for r in results if r.accuracy_pct >= min_accuracy_pct]
+    if not qualifying:
+        return None
+    return min(qualifying, key=cost_fn)

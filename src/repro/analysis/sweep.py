@@ -1,0 +1,137 @@
+"""Configuration sweeps combining accuracy, delay and area models.
+
+A sweep evaluates every requested configuration with the analytic error
+model plus the FPGA characterisation, yielding the rows that Figs. 1/7/8
+and Tables I/II plot or tabulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.adders.base import AdderModel
+from repro.core.configspace import enumerate_configs
+from repro.core.error_model import (
+    error_probability,
+    max_error_distance,
+    mean_error_distance_analytic,
+    normalized_error_distance_analytic,
+)
+from repro.core.gear import GeArAdder, GeArConfig
+from repro.timing.fpga import AdderCharacterization, characterize
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One evaluated configuration of a sweep."""
+
+    name: str
+    r: int
+    p: int
+    k: int
+    error_probability: float
+    accuracy_pct: float
+    med: float
+    ned: float
+    delay_ns: Optional[float]
+    luts: Optional[int]
+
+    @property
+    def delay_ned_product(self) -> Optional[float]:
+        """The paper's Delay × NED figure of merit (seconds × NED)."""
+        if self.delay_ns is None:
+            return None
+        return self.delay_ns * 1e-9 * self.ned
+
+
+def _characterize_quietly(adder: AdderModel) -> Optional[AdderCharacterization]:
+    try:
+        return characterize(adder)
+    except ValueError:
+        return None
+
+
+def sweep_gear_configs(
+    n: int,
+    r_values: Optional[Sequence[int]] = None,
+    allow_partial: bool = True,
+    with_hardware: bool = True,
+) -> List[SweepResult]:
+    """Evaluate every GeAr configuration of width ``n`` (optionally per R).
+
+    Args:
+        n: operand width.
+        r_values: restrict to these R values (None = all).
+        allow_partial: include non-divisible configurations.
+        with_hardware: also run netlist characterisation (slower).
+    """
+    configs: List[GeArConfig] = []
+    if r_values is None:
+        configs = enumerate_configs(n, allow_partial=allow_partial)
+    else:
+        for r in r_values:
+            configs.extend(enumerate_configs(n, r=r, allow_partial=allow_partial))
+
+    results: List[SweepResult] = []
+    for cfg in configs:
+        adder = GeArAdder(cfg)
+        char = _characterize_quietly(adder) if with_hardware else None
+        prob = error_probability(cfg)
+        results.append(
+            SweepResult(
+                name=adder.name,
+                r=cfg.r,
+                p=cfg.p,
+                k=cfg.k,
+                error_probability=prob,
+                accuracy_pct=(1.0 - prob) * 100.0,
+                med=mean_error_distance_analytic(cfg),
+                ned=normalized_error_distance_analytic(cfg),
+                delay_ns=char.delay_ns if char else None,
+                luts=char.luts if char else None,
+            )
+        )
+    return results
+
+
+def sweep_adder_family(
+    adders: Iterable[AdderModel],
+    med_fn: Optional[Callable[[AdderModel], float]] = None,
+) -> List[SweepResult]:
+    """Evaluate a heterogeneous family of adders into comparable rows.
+
+    ``med_fn`` supplies a mean-error-distance estimate for adders without a
+    GeAr-expressible config (e.g. a Monte-Carlo closure); when absent, MED
+    and NED report as NaN for such adders.
+    """
+    results: List[SweepResult] = []
+    for adder in adders:
+        char = _characterize_quietly(adder)
+        prob = adder.error_probability()
+        cfg = getattr(adder, "config", None)
+        if isinstance(cfg, GeArConfig):
+            med = mean_error_distance_analytic(cfg)
+            ned = normalized_error_distance_analytic(cfg)
+            r, p, k = cfg.r, cfg.p, cfg.k
+        else:
+            med = med_fn(adder) if med_fn else float("nan")
+            bound = getattr(adder, "max_error_distance", None)
+            ned = med / bound() if (med_fn and callable(bound) and bound()) else float("nan")
+            r = p = 0
+            k = 1
+        results.append(
+            SweepResult(
+                name=adder.name,
+                r=r,
+                p=p,
+                k=k,
+                error_probability=prob if prob is not None else float("nan"),
+                accuracy_pct=(1.0 - prob) * 100.0 if prob is not None else float("nan"),
+                med=med,
+                ned=ned,
+                delay_ns=char.delay_ns if char else None,
+                luts=char.luts if char else None,
+            )
+        )
+    return results

@@ -1,0 +1,71 @@
+"""Plain-text table rendering for benches and the CLI.
+
+Every benchmark prints the rows of its paper table/figure through this
+module, so the output format is uniform and diffable run-to-run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+class Table:
+    """A simple column-aligned text table."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None) -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([_format_cell(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _format_cell(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{cell:.4e}"
+        return f"{cell:.4f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 title: Optional[str] = None) -> str:
+    """One-shot helper: build and render a table."""
+    table = Table(headers, title=title)
+    for row in rows:
+        table.add_row(*row)
+    return table.render()

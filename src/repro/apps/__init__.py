@@ -1,0 +1,53 @@
+"""Application kernels from §4.4: Image Integral, SAD and Low-Pass Filter.
+
+Each kernel accepts any :class:`~repro.adders.base.AdderModel`; passing
+``None`` runs the exact reference.  Synthetic image generation replaces the
+paper's (unspecified) test imagery — see DESIGN.md's substitution table.
+"""
+
+from repro.apps.images import (
+    gradient_image,
+    natural_image,
+    checkerboard_image,
+    moving_block_pair,
+)
+from repro.apps.integral import (
+    integral_image_rows,
+    integral_image_2d,
+    accumulate,
+    max_row_width,
+)
+from repro.apps.sad import sad, sad_map, motion_search
+from repro.apps.lpf import binomial_kernel_3x3, low_pass_filter
+from repro.apps.quality import psnr, mean_absolute_error, global_ssim, QualityReport, compare_images
+from repro.apps.boxfilter import (
+    box_filter_mean,
+    box_filter_sums,
+    disparity_map,
+    variable_window_cost,
+)
+
+__all__ = [
+    "gradient_image",
+    "natural_image",
+    "checkerboard_image",
+    "moving_block_pair",
+    "integral_image_rows",
+    "integral_image_2d",
+    "accumulate",
+    "max_row_width",
+    "sad",
+    "sad_map",
+    "motion_search",
+    "binomial_kernel_3x3",
+    "low_pass_filter",
+    "psnr",
+    "mean_absolute_error",
+    "global_ssim",
+    "QualityReport",
+    "compare_images",
+    "box_filter_mean",
+    "box_filter_sums",
+    "disparity_map",
+    "variable_window_cost",
+]

@@ -1,0 +1,116 @@
+"""Worst-case error bounds for the application kernels.
+
+The error model gives *probabilities*; safety-style arguments need hard
+bounds.  Because every windowed speculative adder under-approximates
+(approx ≤ exact, each addition short by at most the adder's maximum error
+distance D), the kernels' worst-case output errors follow from how many
+approximate additions feed each output:
+
+* prefix sums: output j accumulates j additions → error ≤ j·D,
+* SAD over m pixels: m additions → error ≤ m·D,
+* LPF taps: 8 accumulations → error ≤ 8·D (before the >>4, so ≤ D/2 after),
+* box sums: four integral corners, each a (row + column) accumulation.
+
+These bounds are loose (misses are rare and partially cancel) but *sound*:
+the measured worst case can never exceed them, which tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adders.base import AdderModel
+from repro.utils.validation import check_nonneg_int, check_pos_int
+
+
+def _max_ed(adder: AdderModel) -> int:
+    if adder.is_exact:
+        return 0
+    bound = getattr(adder, "max_error_distance", None)
+    if not callable(bound):
+        raise ValueError(
+            f"{adder.name} exposes no max_error_distance(); cannot bound"
+        )
+    return int(bound())
+
+
+@dataclass(frozen=True)
+class KernelBound:
+    """A sound worst-case output-error bound for one kernel setup."""
+
+    kernel: str
+    adder_name: str
+    per_addition: int
+    additions: int
+
+    @property
+    def worst_case(self) -> int:
+        return self.per_addition * self.additions
+
+
+def integral_row_bound(adder: AdderModel, row_length: int) -> KernelBound:
+    """Worst-case error of the *last* prefix-sum entry of a row.
+
+    Entry j accumulates j approximate additions, each short by at most D,
+    so the bound grows linearly along the row (tested against measurement).
+    """
+    check_pos_int("row_length", row_length)
+    return KernelBound(
+        kernel="integral_row",
+        adder_name=adder.name,
+        per_addition=_max_ed(adder),
+        additions=row_length - 1 if row_length > 1 else 0,
+    )
+
+
+def sad_bound(adder: AdderModel, block_pixels: int) -> KernelBound:
+    """Worst-case SAD error for a block of ``block_pixels`` pixels."""
+    check_pos_int("block_pixels", block_pixels)
+    return KernelBound(
+        kernel="sad",
+        adder_name=adder.name,
+        per_addition=_max_ed(adder),
+        additions=block_pixels,
+    )
+
+
+def lpf_bound(adder: AdderModel) -> KernelBound:
+    """Worst-case error of the 3x3 binomial accumulator (before >>4)."""
+    return KernelBound(
+        kernel="lpf_accumulator",
+        adder_name=adder.name,
+        per_addition=_max_ed(adder),
+        additions=8,  # nine taps, eight accumulations
+    )
+
+
+def box_sum_bound(adder: AdderModel, rows: int, cols: int) -> KernelBound:
+    """Worst-case error of any box sum over an approximate 2-D integral.
+
+    Each integral corner accumulates at most (cols-1) row additions plus
+    (rows-1) column additions of row-pass values; the box combines four
+    corners, so errors can add with either sign up to 4× a corner bound.
+    """
+    check_pos_int("rows", rows)
+    check_pos_int("cols", cols)
+    corner = (cols - 1) + (rows - 1)
+    return KernelBound(
+        kernel="box_sum",
+        adder_name=adder.name,
+        per_addition=_max_ed(adder),
+        additions=4 * corner,
+    )
+
+
+def expected_error_estimate(bound: KernelBound,
+                            miss_probability: Optional[float]) -> Optional[float]:
+    """Crude expected-error companion to the worst case.
+
+    Treats each addition as independently missing (probability = the
+    adder's error probability) with mean magnitude ≈ D/2 when it does;
+    useful as an order-of-magnitude sanity line next to the hard bound.
+    """
+    if miss_probability is None:
+        return None
+    return bound.additions * miss_probability * bound.per_addition / 2.0

@@ -1,0 +1,147 @@
+"""Box filtering via integral images — the paper's stereo use case [14].
+
+Veksler's fast variable-window stereo (cited in §1 and §4.4 via the
+integral image) computes arbitrary-size box sums in O(1) per pixel from a
+2-D integral image:
+
+    box(x1..x2, y1..y2) = I(y2,x2) - I(y1-1,x2) - I(y2,x1-1) + I(y1-1,x1-1)
+
+When the integral image is built with an approximate adder, each box sum
+inherits the accumulated error of its four corners.  The box-sum
+combination itself is implemented exactly (subtraction hardware is not
+part of the paper's study), so output error isolates the integral-stage
+approximation — matching how [14]-style systems would deploy GeAr.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.adders.base import AdderModel
+from repro.apps.integral import integral_image_2d
+from repro.utils.validation import check_pos_int
+
+
+def _padded_integral(image: np.ndarray, adder: Optional[AdderModel]) -> np.ndarray:
+    """Integral image with a zero guard row/column for clean corner math."""
+    integral = integral_image_2d(image, adder)
+    padded = np.zeros(
+        (integral.shape[0] + 1, integral.shape[1] + 1), dtype=np.int64
+    )
+    padded[1:, 1:] = integral
+    return padded
+
+
+def box_filter_sums(
+    image: np.ndarray,
+    radius: int,
+    adder: Optional[AdderModel] = None,
+) -> np.ndarray:
+    """Sum of the (2·radius+1)² window around every pixel (edge-clipped).
+
+    Args:
+        image: 2-D non-negative integer image.
+        radius: window radius (0 = identity).
+        adder: approximate adder used to *build the integral image*;
+            ``None`` computes the exact reference.
+
+    Returns:
+        Array of window sums, same shape as ``image``.
+    """
+    image = np.asarray(image, dtype=np.int64)
+    if image.ndim != 2:
+        raise ValueError("box_filter_sums expects a 2-D image")
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    rows, cols = image.shape
+    integral = _padded_integral(image, adder)
+
+    ys = np.arange(rows)
+    xs = np.arange(cols)
+    y1 = np.clip(ys - radius, 0, rows - 1)
+    y2 = np.clip(ys + radius, 0, rows - 1)
+    x1 = np.clip(xs - radius, 0, cols - 1)
+    x2 = np.clip(xs + radius, 0, cols - 1)
+
+    top = integral[y1, :]
+    bottom = integral[y2 + 1, :]
+    return (
+        bottom[:, x2 + 1] - bottom[:, x1] - top[:, x2 + 1] + top[:, x1]
+    )
+
+
+def box_filter_mean(
+    image: np.ndarray,
+    radius: int,
+    adder: Optional[AdderModel] = None,
+) -> np.ndarray:
+    """Mean filter from box sums (rounded down), edge-clipped windows."""
+    image = np.asarray(image, dtype=np.int64)
+    sums = box_filter_sums(image, radius, adder)
+    rows, cols = image.shape
+    ys = np.arange(rows)
+    xs = np.arange(cols)
+    heights = np.clip(ys + radius, 0, rows - 1) - np.clip(ys - radius, 0, rows - 1) + 1
+    widths = np.clip(xs + radius, 0, cols - 1) - np.clip(xs - radius, 0, cols - 1) + 1
+    areas = heights[:, None] * widths[None, :]
+    return sums // areas
+
+
+def variable_window_cost(
+    left: np.ndarray,
+    right: np.ndarray,
+    disparity: int,
+    radius: int,
+    adder: Optional[AdderModel] = None,
+) -> np.ndarray:
+    """Aggregated absolute-difference cost for one stereo disparity.
+
+    The [14] pipeline: shift the right image by ``disparity``, take
+    per-pixel absolute differences, box-aggregate with the integral image.
+    Returns the aggregated cost map (columns < ``disparity`` are invalid
+    and set to the max sentinel).
+    """
+    left = np.asarray(left, dtype=np.int64)
+    right = np.asarray(right, dtype=np.int64)
+    if left.shape != right.shape:
+        raise ValueError("stereo pair shapes differ")
+    check_pos_int("radius", radius) if radius else None
+    if disparity < 0 or disparity >= left.shape[1]:
+        raise ValueError(f"disparity {disparity} out of range")
+    diff = np.zeros_like(left)
+    if disparity:
+        diff[:, disparity:] = np.abs(left[:, disparity:] - right[:, :-disparity])
+    else:
+        diff = np.abs(left - right)
+    cost = box_filter_sums(diff, radius, adder)
+    if disparity:
+        cost[:, :disparity] = np.iinfo(np.int64).max
+    return cost
+
+
+def disparity_map(
+    left: np.ndarray,
+    right: np.ndarray,
+    max_disparity: int,
+    radius: int,
+    adder: Optional[AdderModel] = None,
+) -> np.ndarray:
+    """Winner-take-all stereo disparities over 0..max_disparity.
+
+    A miniature but complete version of the variable-window stereo
+    matcher the paper's integral-image application serves.
+    """
+    check_pos_int("max_disparity", max_disparity)
+    best_cost: Optional[np.ndarray] = None
+    best_disp = np.zeros_like(np.asarray(left, dtype=np.int64))
+    for d in range(max_disparity + 1):
+        cost = variable_window_cost(left, right, d, radius, adder)
+        if best_cost is None:
+            best_cost = cost
+            continue
+        better = cost < best_cost
+        best_disp = np.where(better, d, best_disp)
+        best_cost = np.where(better, cost, best_cost)
+    return best_disp

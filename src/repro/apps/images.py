@@ -1,0 +1,87 @@
+"""Deterministic synthetic test imagery.
+
+The paper evaluates its kernels on full-HD images it does not ship.  These
+generators produce seeded images with natural-image-like statistics
+(smooth shading, local texture, sensor-style noise) so the application
+benchmarks are reproducible end to end.  All images are 8-bit grayscale
+(uint8-valued int64 arrays).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_pos_int
+
+
+def _finalize(image: np.ndarray) -> np.ndarray:
+    return np.clip(np.rint(image), 0, 255).astype(np.int64)
+
+
+def gradient_image(rows: int, cols: int, seed: int = 7) -> np.ndarray:
+    """Diagonal gradient with sinusoidal texture and mild noise."""
+    check_pos_int("rows", rows)
+    check_pos_int("cols", cols)
+    rng = np.random.default_rng(seed)
+    y = np.linspace(0.0, 1.0, rows)[:, None]
+    x = np.linspace(0.0, 1.0, cols)[None, :]
+    base = 120.0 * (0.6 * x + 0.4 * y)
+    texture = 40.0 * np.sin(2 * np.pi * 6 * x) * np.cos(2 * np.pi * 4 * y)
+    noise = rng.normal(0.0, 6.0, size=(rows, cols))
+    return _finalize(64.0 + base + texture + noise)
+
+
+def natural_image(rows: int, cols: int, seed: int = 11, smoothing: int = 3) -> np.ndarray:
+    """Spatially correlated random image (cascaded box filters on noise).
+
+    The repeated 3x3 box filter turns white noise into the low-frequency,
+    locally correlated structure typical of photographs, which is the
+    statistic that matters for carry-chain behaviour in the kernels.
+    """
+    check_pos_int("rows", rows)
+    check_pos_int("cols", cols)
+    rng = np.random.default_rng(seed)
+    img = rng.uniform(0.0, 255.0, size=(rows, cols))
+    for _ in range(smoothing):
+        padded = np.pad(img, 1, mode="edge")
+        acc = np.zeros_like(img)
+        for dy in (0, 1, 2):
+            for dx in (0, 1, 2):
+                acc += padded[dy : dy + rows, dx : dx + cols]
+        img = acc / 9.0
+    # Re-stretch the contrast the smoothing removed.
+    lo, hi = img.min(), img.max()
+    if hi > lo:
+        img = (img - lo) / (hi - lo) * 255.0
+    return _finalize(img)
+
+
+def checkerboard_image(rows: int, cols: int, tile: int = 8,
+                       low: int = 32, high: int = 224) -> np.ndarray:
+    """High-contrast checkerboard — a worst-case for carry chains."""
+    check_pos_int("rows", rows)
+    check_pos_int("cols", cols)
+    check_pos_int("tile", tile)
+    if not 0 <= low < high <= 255:
+        raise ValueError(f"need 0 <= low < high <= 255, got {low}, {high}")
+    yy, xx = np.meshgrid(np.arange(rows) // tile, np.arange(cols) // tile,
+                         indexing="ij")
+    return np.where((yy + xx) % 2 == 0, low, high).astype(np.int64)
+
+
+def moving_block_pair(rows: int, cols: int, shift: Tuple[int, int] = (2, 3),
+                      seed: int = 23) -> Tuple[np.ndarray, np.ndarray]:
+    """Two frames related by a global translation plus noise (SAD workload).
+
+    Returns (reference frame, shifted frame).  The shift is circular so
+    both frames keep full support; the known displacement lets the motion
+    search example verify it finds the true motion vector.
+    """
+    frame = natural_image(rows, cols, seed=seed)
+    dy, dx = shift
+    moved = np.roll(frame, (dy, dx), axis=(0, 1))
+    rng = np.random.default_rng(seed + 1)
+    noisy = np.clip(moved + np.rint(rng.normal(0, 2.0, moved.shape)), 0, 255)
+    return frame, noisy.astype(np.int64)

@@ -1,0 +1,74 @@
+"""Low-pass filter kernel (Fig. 9c: N=12, L=8).
+
+A separable 3x3 binomial smoothing filter, weights (1/16)·[1 2 1]ᵀ[1 2 1].
+All weights are powers of two, so the weighted sum is a chain of shifted
+additions: the accumulator peaks at 16 · 255 = 4080 < 2^12, which is why
+the paper sizes this application at N=12.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.adders.base import AdderModel
+from repro.utils.bitvec import mask
+
+#: Binomial kernel weights as (dy, dx, left-shift) triples.
+_TAPS = [
+    (-1, -1, 0), (-1, 0, 1), (-1, 1, 0),
+    (0, -1, 1), (0, 0, 2), (0, 1, 1),
+    (1, -1, 0), (1, 0, 1), (1, 1, 0),
+]
+
+
+def binomial_kernel_3x3() -> np.ndarray:
+    """The 3x3 binomial kernel (integer weights, sums to 16)."""
+    kernel = np.zeros((3, 3), dtype=np.int64)
+    for dy, dx, shift in _TAPS:
+        kernel[dy + 1, dx + 1] = 1 << shift
+    return kernel
+
+
+def low_pass_filter(image: np.ndarray, adder: Optional[AdderModel] = None) -> np.ndarray:
+    """3x3 binomial low-pass filter with adder-accumulated taps.
+
+    Border handling: edge replication.  The 9 shifted taps are accumulated
+    pairwise through ``adder``; the final >>4 normalisation is exact (it is
+    a wire selection in hardware).
+
+    Args:
+        image: 2-D image with values in [0, 255].
+        adder: approximate adder for the accumulation (None = exact).
+
+    Returns:
+        Filtered image, same shape, values in [0, 255].
+    """
+    image = np.asarray(image, dtype=np.int64)
+    if image.ndim != 2:
+        raise ValueError("low_pass_filter expects a 2-D image")
+    if image.size == 0:
+        raise ValueError("image is empty")
+    if image.min() < 0 or image.max() > 255:
+        raise ValueError("pixel values must be in [0, 255]")
+    if adder is not None and mask(adder.width) < 16 * 255:
+        raise ValueError(
+            f"{adder.width}-bit adder cannot hold the kernel accumulator "
+            f"(needs {(16 * 255).bit_length()} bits)"
+        )
+
+    rows, cols = image.shape
+    padded = np.pad(image, 1, mode="edge")
+    acc = np.zeros((rows, cols), dtype=np.int64)
+    first = True
+    for dy, dx, shift in _TAPS:
+        tap = padded[dy + 1 : dy + 1 + rows, dx + 1 : dx + 1 + cols] << shift
+        if first:
+            acc = tap.copy()
+            first = False
+        elif adder is None:
+            acc = acc + tap
+        else:
+            acc = np.asarray(adder.add(acc.ravel(), tap.ravel())).reshape(rows, cols)
+    return acc >> 4

@@ -1,0 +1,80 @@
+"""Output-quality metrics for the application kernels.
+
+PSNR and a global (single-window) SSIM quantify how visible approximate
+addition is in the kernel outputs — the "application resilience" argument
+of the paper's introduction, made measurable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def mean_absolute_error(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """Mean |reference - candidate| over all pixels."""
+    reference = np.asarray(reference, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if reference.shape != candidate.shape:
+        raise ValueError(f"shapes differ: {reference.shape} vs {candidate.shape}")
+    return float(np.mean(np.abs(reference - candidate)))
+
+
+def psnr(reference: np.ndarray, candidate: np.ndarray, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB (inf for identical inputs)."""
+    reference = np.asarray(reference, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if reference.shape != candidate.shape:
+        raise ValueError(f"shapes differ: {reference.shape} vs {candidate.shape}")
+    mse = float(np.mean((reference - candidate) ** 2))
+    if mse == 0.0:
+        return math.inf
+    return 10.0 * math.log10(peak * peak / mse)
+
+
+def global_ssim(reference: np.ndarray, candidate: np.ndarray,
+                peak: float = 255.0) -> float:
+    """Single-window SSIM (luminance/contrast/structure over whole image)."""
+    x = np.asarray(reference, dtype=np.float64)
+    y = np.asarray(candidate, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shapes differ: {x.shape} vs {y.shape}")
+    c1 = (0.01 * peak) ** 2
+    c2 = (0.03 * peak) ** 2
+    mx, my = x.mean(), y.mean()
+    vx, vy = x.var(), y.var()
+    cov = float(np.mean((x - mx) * (y - my)))
+    return float(
+        ((2 * mx * my + c1) * (2 * cov + c2))
+        / ((mx * mx + my * my + c1) * (vx + vy + c2))
+    )
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Quality summary of an approximate kernel output vs the exact one."""
+
+    mae: float
+    psnr_db: float
+    ssim: float
+    max_abs_error: int
+    exact_fraction: float
+
+
+def compare_images(reference: np.ndarray, candidate: np.ndarray,
+                   peak: float = 255.0) -> QualityReport:
+    """Compute every quality metric for a pair of kernel outputs."""
+    ref = np.asarray(reference, dtype=np.int64)
+    cand = np.asarray(candidate, dtype=np.int64)
+    if ref.shape != cand.shape:
+        raise ValueError(f"shapes differ: {ref.shape} vs {cand.shape}")
+    diff = np.abs(ref - cand)
+    return QualityReport(
+        mae=mean_absolute_error(ref, cand),
+        psnr_db=psnr(ref, cand, peak=peak),
+        ssim=global_ssim(ref, cand, peak=peak),
+        max_abs_error=int(diff.max()),
+        exact_fraction=float(np.mean(diff == 0)),
+    )

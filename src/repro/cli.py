@@ -1,0 +1,277 @@
+"""Command-line interface: ``gear <command>`` (or ``python -m repro``).
+
+Commands mirror the paper's artefacts::
+
+    gear info 12 4 4          # describe a GeAr configuration
+    gear sweep 16 --r 4       # accuracy/delay/area sweep
+    gear verilog 12 4 4       # emit synthesizable structural Verilog
+    gear table1 | table2 | table3 | table4
+    gear fig1 | fig7 | fig8 | fig9
+    gear ablation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.sweep import sweep_gear_configs
+from repro.analysis.tables import format_table
+from repro.core.error_model import (
+    error_probability,
+    error_probability_exact,
+    max_error_distance,
+    mean_error_distance_analytic,
+)
+from repro.core.coverage import classify_config
+from repro.core.gear import GeArAdder, GeArConfig
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    strict = (args.n - args.r - args.p) % args.r == 0
+    cfg = GeArConfig(args.n, args.r, args.p, allow_partial=not strict)
+    adder = GeArAdder(cfg)
+    print(cfg.describe())
+    print(f"covers: {', '.join(classify_config(cfg))}")
+    print(f"error probability (paper model): {error_probability(cfg):.8f}")
+    print(f"error probability (exact DP)   : {error_probability_exact(cfg):.8f}")
+    print(f"mean error distance (analytic) : {mean_error_distance_analytic(cfg):.4f}")
+    print(f"max error distance             : {max_error_distance(cfg)}")
+    print("windows (low..high -> result bits):")
+    for i, w in enumerate(cfg.windows()):
+        print(f"  sub-adder {i + 1}: [{w.high}:{w.low}] -> "
+              f"S[{w.result_high}:{w.result_low}] (P={w.prediction_bits})")
+    try:
+        from repro.timing.fpga import characterize
+
+        char = characterize(adder)
+        print(f"FPGA model: delay={char.delay_ns:.3f} ns, LUTs={char.luts}, "
+              f"gates={char.gates}, depth={char.logic_depth}")
+    except ValueError:
+        pass
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    results = sweep_gear_configs(
+        args.n,
+        r_values=[args.r] if args.r else None,
+        with_hardware=not args.no_hardware,
+    )
+    print(
+        format_table(
+            ["config", "k", "accuracy %", "MED", "NED", "delay ns", "LUTs"],
+            [
+                (
+                    f"({r.r},{r.p})",
+                    r.k,
+                    f"{r.accuracy_pct:.4f}",
+                    f"{r.med:.3f}",
+                    f"{r.ned:.5f}",
+                    f"{r.delay_ns:.3f}" if r.delay_ns is not None else None,
+                    r.luts,
+                )
+                for r in results
+            ],
+            title=f"GeAr design space, N={args.n}",
+        )
+    )
+    return 0
+
+
+def _cmd_verilog(args: argparse.Namespace) -> int:
+    strict = (args.n - args.r - args.p) % args.r == 0
+    config = GeArConfig(args.n, args.r, args.p, allow_partial=not strict)
+    if args.hierarchical:
+        from repro.rtl.hierarchy import emit_gear_hierarchical
+
+        sys.stdout.write(emit_gear_hierarchical(config))
+        return 0
+    from repro.rtl.verilog import to_verilog
+
+    netlist = GeArAdder(config).build_netlist()
+    assert netlist is not None
+    sys.stdout.write(to_verilog(netlist))
+    return 0
+
+
+def _cmd_experiment(name: str):
+    def handler(args: argparse.Namespace) -> int:
+        from repro import experiments
+
+        render = getattr(experiments, f"render_{name}")
+        print(render())
+        return 0
+
+    return handler
+
+
+def _cmd_motivation(args: argparse.Namespace) -> int:
+    from repro.analysis.carrychain import (
+        chain_coverage_table,
+        expected_longest_chain,
+        required_chain_for_coverage,
+    )
+
+    rows = []
+    for n in (16, 32, 64, 128):
+        coverage = chain_coverage_table(n, [8, 16])
+        rows.append(
+            (
+                n,
+                f"{expected_longest_chain(n):.2f}",
+                f"{coverage[8]:.3e}",
+                f"{coverage[16]:.3e}",
+                required_chain_for_coverage(n, 1e-2),
+                required_chain_for_coverage(n, 1e-4),
+            )
+        )
+    print(
+        format_table(
+            ["N", "E[longest chain]", "P(chain>8)", "P(chain>16)",
+             "L @1% miss", "L @0.01% miss"],
+            rows,
+            title="§1 motivation — longest carry chains are short (uniform operands)",
+        )
+    )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis.export import export_all
+
+    paths = export_all(args.dir, artefacts=args.only)
+    for name, path in sorted(paths.items()):
+        print(f"{name}: {path}")
+    return 0
+
+
+def _cmd_spectrum(args: argparse.Namespace) -> int:
+    from repro.metrics.spectrum import error_spectrum, spectrum_table
+
+    strict = (args.n - args.r - args.p) % args.r == 0
+    adder = GeArAdder(GeArConfig(args.n, args.r, args.p,
+                                 allow_partial=not strict))
+    spec = error_spectrum(adder, samples=args.samples)
+    print(spectrum_table(spec))
+    print("\nper-window miss rates and error mass:")
+    for i, (rate, mass) in enumerate(
+        zip(spec.window_miss_rate, spec.window_error_mass), start=1
+    ):
+        print(f"  speculative sub-adder {i}: miss rate {rate:.6f}, "
+              f"error mass {mass:.2f}")
+    dominant = spec.dominant_window()
+    if dominant is not None:
+        print(f"dominant error source: speculative sub-adder {dominant} "
+              "(correct this one first)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import write_report
+
+    path = write_report(args.out, quick=args.quick)
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        render_correction_policy_ablation,
+        render_distribution_sensitivity_ablation,
+    )
+
+    print(render_distribution_sensitivity_ablation())
+    print()
+    print(render_correction_policy_ablation())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gear",
+        description="GeAr accuracy-configurable adder (DAC 2015) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="describe a GeAr(N,R,P) configuration")
+    info.add_argument("n", type=int)
+    info.add_argument("r", type=int)
+    info.add_argument("p", type=int)
+    info.set_defaults(func=_cmd_info)
+
+    sweep = sub.add_parser("sweep", help="sweep the design space of width N")
+    sweep.add_argument("n", type=int)
+    sweep.add_argument("--r", type=int, default=None)
+    sweep.add_argument("--no-hardware", action="store_true",
+                       help="skip netlist characterisation (faster)")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    verilog = sub.add_parser("verilog", help="emit structural Verilog")
+    verilog.add_argument("n", type=int)
+    verilog.add_argument("r", type=int)
+    verilog.add_argument("p", type=int)
+    verilog.add_argument("--hierarchical", action="store_true",
+                         help="modular RTL (sub-adder module + top)")
+    verilog.set_defaults(func=_cmd_verilog)
+
+    for name, help_text in [
+        ("table1", "Table I — Image Integral accuracy comparison"),
+        ("table2", "Table II — GDA vs GeAr, 8-bit"),
+        ("table3", "Table III — error probability: model vs simulation"),
+        ("table4", "Table IV — execution-time prediction"),
+        ("fig1", "Fig. 1 — design-space comparison"),
+        ("fig7", "Fig. 7 — accuracy vs prediction bits"),
+        ("fig8", "Fig. 8 — Delay×NED, GeAr vs GDA"),
+        ("fig9", "Fig. 9 — per-application timing"),
+    ]:
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.set_defaults(func=_cmd_experiment(name))
+
+    ablation = sub.add_parser("ablation", help="run both ablation studies")
+    ablation.set_defaults(func=_cmd_ablation)
+
+    motivation = sub.add_parser(
+        "motivation", help="carry-chain statistics behind the paper's premise"
+    )
+    motivation.set_defaults(func=_cmd_motivation)
+
+    export = sub.add_parser("export", help="write experiment CSVs for plotting")
+    export.add_argument("--dir", default="export", help="output directory")
+    export.add_argument("--only", nargs="*", default=None,
+                        help="artefact ids (fig1 fig7 ... table4)")
+    export.set_defaults(func=_cmd_export)
+
+    spectrum = sub.add_parser("spectrum",
+                              help="error-magnitude spectrum of a config")
+    spectrum.add_argument("n", type=int)
+    spectrum.add_argument("r", type=int)
+    spectrum.add_argument("p", type=int)
+    spectrum.add_argument("--samples", type=int, default=100_000)
+    spectrum.set_defaults(func=_cmd_spectrum)
+
+    report = sub.add_parser("report",
+                            help="generate the full reproduction report")
+    report.add_argument("--out", default="reproduction_report.md")
+    report.add_argument("--quick", action="store_true",
+                        help="skip synthesis-heavy sections and ablations")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `gear spectrum ... | head`
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""The paper's contribution: the GeAr adder and its companion models.
+
+* :mod:`repro.core.gear` — the (N, R, P) configuration model of §3.1 and
+  the vectorised functional adder,
+* :mod:`repro.core.error_model` — the analytic error-probability model of
+  §3.2 (Eqs. 4–7) plus an exact dynamic-programming reference,
+* :mod:`repro.core.correction` — the configurable error detection and
+  correction scheme of §3.3, with cycle accounting,
+* :mod:`repro.core.configspace` — enumeration of valid configurations
+  (the design-space results of Fig. 1 / Fig. 7),
+* :mod:`repro.core.coverage` — mappings between GeAr configurations and the
+  state-of-the-art adders it subsumes.
+"""
+
+from repro.core.gear import GeArConfig, GeArAdder
+from repro.core.error_model import (
+    ErrorEvent,
+    error_events,
+    error_probability,
+    error_probability_exact,
+    accuracy_percentage,
+)
+from repro.core.correction import CorrectionResult, ErrorCorrector
+from repro.core.configspace import (
+    enumerate_configs,
+    enumerate_gear_points,
+    enumerate_gda_points,
+    DesignPoint,
+)
+from repro.core.signed import SignedAdder
+from repro.core.multiplier import (
+    ApproximateMultiplier,
+    make_exact_multiplier,
+    make_gear_multiplier,
+)
+from repro.core.coverage import (
+    gear_as_aca1,
+    gear_as_aca2,
+    gear_as_etaii,
+    gear_covers_gda,
+    classify_config,
+)
+
+__all__ = [
+    "GeArConfig",
+    "GeArAdder",
+    "ErrorEvent",
+    "error_events",
+    "error_probability",
+    "error_probability_exact",
+    "accuracy_percentage",
+    "CorrectionResult",
+    "ErrorCorrector",
+    "enumerate_configs",
+    "enumerate_gear_points",
+    "enumerate_gda_points",
+    "DesignPoint",
+    "SignedAdder",
+    "ApproximateMultiplier",
+    "make_exact_multiplier",
+    "make_gear_multiplier",
+    "gear_as_aca1",
+    "gear_as_aca2",
+    "gear_as_etaii",
+    "gear_covers_gda",
+    "classify_config",
+]

@@ -1,0 +1,164 @@
+"""Configuration-space enumeration (Fig. 1 and Fig. 7).
+
+The paper's motivational claim is that GeAr offers far more accuracy
+configurations than ACA-I/ACA-II/ETAII (one point each per sub-adder
+length) or GDA (prediction bits constrained to multiples of the sub-adder
+block length).  These helpers enumerate each architecture's feasible
+``(R, P)`` points for a given operand width together with the analytic
+accuracy of each point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.error_model import accuracy_percentage
+from repro.core.gear import GeArConfig
+from repro.utils.validation import check_pos_int
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One point of the accuracy-configurability design space.
+
+    Attributes:
+        architecture: which adder family provides the point.
+        r: resultant bits per sub-adder (GDA's M_B maps onto R).
+        p: carry-prediction bits (GDA's M_C maps onto P).
+        accuracy: probabilistic accuracy percentage, (1-ρ[Error])·100.
+        strict: True when (N-L) is an exact multiple of R (Eq. 1 yields an
+            integer k); False for points only reachable in partial mode.
+    """
+
+    architecture: str
+    r: int
+    p: int
+    accuracy: float
+    strict: bool
+
+
+def enumerate_configs(
+    n: int,
+    r: Optional[int] = None,
+    allow_partial: bool = False,
+    include_exact: bool = False,
+) -> List[GeArConfig]:
+    """All valid GeAr configurations for width ``n``.
+
+    Args:
+        n: operand width.
+        r: restrict to one resultant-bit count (None = all).
+        allow_partial: include configurations with non-integer (N-L)/R.
+        include_exact: include degenerate k=1 configurations (L = N).
+    """
+    check_pos_int("n", n)
+    configs: List[GeArConfig] = []
+    r_values = [r] if r is not None else list(range(1, n))
+    for rv in r_values:
+        for p in range(1, n - rv + 1):
+            if rv + p > n:
+                continue
+            strict = (n - rv - p) % rv == 0
+            if not strict and not allow_partial:
+                continue
+            cfg = GeArConfig(n, rv, p, allow_partial=not strict)
+            if cfg.is_exact and not include_exact:
+                continue
+            configs.append(cfg)
+    return configs
+
+
+def enumerate_gear_points(n: int, r: int, allow_partial: bool = True,
+                          include_exact: bool = False) -> List[DesignPoint]:
+    """GeAr design points for fixed N and R, sweeping P (Fig. 7 series).
+
+    ``include_exact`` adds the P = N - R endpoint (a single full-width
+    sub-adder, 100 % accuracy), which Fig. 7's curves run up to.
+    """
+    points: List[DesignPoint] = []
+    configs = enumerate_configs(n, r=r, allow_partial=allow_partial,
+                                include_exact=include_exact)
+    for cfg in configs:
+        points.append(
+            DesignPoint(
+                architecture="GeAr",
+                r=cfg.r,
+                p=cfg.p,
+                accuracy=accuracy_percentage(cfg),
+                strict=not cfg.allow_partial,
+            )
+        )
+    return points
+
+
+def enumerate_gda_points(n: int, r: int, include_exact: bool = False) -> List[DesignPoint]:
+    """GDA design points for block size M_B = r, sweeping M_C (Fig. 7 dots).
+
+    GDA's hierarchical carry-lookahead prediction constrains the prediction
+    depth to multiples of the block size (§1, §2), so only P = R, 2R, 3R, …
+    are reachable; the accuracy of each is the GeAr model's at the same
+    (R, P) (§4.4 applies the model to GDA).
+    """
+    points: List[DesignPoint] = []
+    for p in range(r, n - r + 1, r):
+        if r + p > n:
+            break
+        strict = (n - r - p) % r == 0  # always true when p is a multiple of r
+        cfg = GeArConfig(n, r, p, allow_partial=not strict)
+        if cfg.is_exact and not include_exact:
+            continue
+        points.append(
+            DesignPoint(
+                architecture="GDA",
+                r=r,
+                p=p,
+                accuracy=accuracy_percentage(cfg),
+                strict=strict,
+            )
+        )
+    return points
+
+
+def enumerate_fixed_architecture_points(n: int, r: int) -> List[DesignPoint]:
+    """The single (R, P) point ACA-II and ETAII offer for a given R.
+
+    Both fix P = R (sub-adder split in half), which is the Fig. 1
+    observation that their design space collapses to one configuration.
+    """
+    if 2 * r > n:
+        return []
+    strict = (n - 2 * r) % r == 0
+    cfg = GeArConfig(n, r, r, allow_partial=not strict)
+    return [
+        DesignPoint(
+            architecture="ACA-II/ETAII",
+            r=r,
+            p=r,
+            accuracy=accuracy_percentage(cfg),
+            strict=strict,
+        )
+    ]
+
+
+def count_configurations(n: int, architecture: str, r: int) -> int:
+    """Number of accuracy configurations an architecture offers (Fig. 1).
+
+    Args:
+        n: operand width.
+        architecture: one of ``"GeAr"``, ``"GDA"``, ``"ACA-II"``, ``"ETAII"``,
+            ``"ACA-I"``.
+        r: resultant bits per sub-adder.
+    """
+    arch = architecture.upper().replace("-", "").replace("_", "")
+    if arch == "GEAR":
+        return len(enumerate_gear_points(n, r))
+    if arch == "GDA":
+        return len(enumerate_gda_points(n, r))
+    if arch in ("ACAII", "ETAII"):
+        return len(enumerate_fixed_architecture_points(n, r))
+    if arch == "ACAI":
+        # ACA-I produces one resultant bit per sub-adder; it offers no
+        # configuration at all unless R == 1 (Fig. 1 discussion).
+        return 1 if r == 1 else 0
+    raise ValueError(f"unknown architecture {architecture!r}")

@@ -1,0 +1,371 @@
+"""Error-probability models for GeAr configurations (§3.2, Eqs. 4–7).
+
+Three engines are provided:
+
+1. :func:`error_probability` — the paper's analytic model.  Every
+   speculative sub-adder ``s`` (window base ``b_s = R·s``) contributes R
+   error-generating events ``Z_{s,m}``: a carry *generated* at bit
+   ``b_s - R + (m-1)`` that *propagates* through every bit up to the top of
+   the prediction window (Eq. 5, probability ``ρ[Gr]·ρ[Pr]^(L-m)``).
+   Two events are mutually exclusive when one's generate position lies in
+   the other's propagate span (Eq. 6), which makes compatible event sets
+   *disjoint on the bit line*; their joint probability is then the product
+   of the individual probabilities.  The inclusion–exclusion sum of Eq. 7
+   therefore collapses to a O(k²·R²) dynamic program over "which window
+   hosts the most recent selected event".
+
+2. :func:`error_probability_brute` — literal depth-first evaluation of
+   Eq. 7 (one term per compatible event subset).  Exponentially slower;
+   used to validate the DP in tests.
+
+3. :func:`error_probability_exact` — the exact error probability for
+   i.i.d. uniform operand bits, computed from first principles (a dynamic
+   program over bit positions with state (carry into next bit, trailing
+   propagate-run length)) with no reference to the paper's event set.
+
+A noteworthy reproduction finding: engines 1 and 3 agree to machine
+precision on every strict configuration (integer ``(N-L)/R``).  The paper's event set looks truncated
+(each window only lists generates within the R bits below it), but it is
+actually *complete*: a carry generated deeper down that propagates into a
+window's prediction span necessarily fires the event of the window owning
+that generate position, because the windows' generate ranges tile every
+lower bit position.  So Eq. 5-7 is an exact formula, not an
+approximation, for uniform operands — `error_probability_exact` is kept
+as an independent derivation that validates this, and the ablation bench
+instead quantifies how far *non-uniform* operand distributions pull the
+true error rate away from the model.
+
+For *partial* configurations (``(N-L) % R != 0``, used by Table IV's
+R = 3, 6, 7 rows) the model stays on the paper's nominal arithmetic — a
+full-R last window — while hardware anchors a shortened last sub-adder at
+the top of the word, which errs strictly less.  The model is therefore
+conservative there; engine 3 uses the actual window geometry and matches
+functional simulation.
+
+All engines assume ρ[generate] = 1/4 and ρ[propagate] = 1/2 per bit
+(uniform operands), exactly as §3.2 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.gear import GeArConfig
+
+
+@dataclass(frozen=True)
+class ErrorEvent:
+    """One error-generating event Z_{s,m} of Eq. 5.
+
+    Attributes:
+        window: speculative sub-adder index s (1-based, 1..k-1).
+        m: resultant-bit index within the sub-adder (1..R).
+        generate_pos: absolute bit that must generate a carry.
+        propagate_low / propagate_high: inclusive absolute span of bits that
+            must all propagate.
+    """
+
+    window: int
+    m: int
+    generate_pos: int
+    propagate_low: int
+    propagate_high: int
+
+    @property
+    def propagate_count(self) -> int:
+        """Number of propagate bits, equal to L - m in Eq. 5."""
+        return self.propagate_high - self.propagate_low + 1
+
+    @property
+    def probability(self) -> float:
+        """ρ[Z] = ρ[Gr] · ρ[Pr]^(L-m) with ρ[Gr]=1/4, ρ[Pr]=1/2 (Eq. 5)."""
+        return 0.25 * 0.5 ** self.propagate_count
+
+    def excludes(self, other: "ErrorEvent") -> bool:
+        """Mutual exclusivity per Eq. 6.
+
+        True when the two events demand contradictory states of some bit:
+        a shared generate position is fine (same demand), but a generate
+        inside the other event's propagate span is a contradiction.
+        """
+        if self.generate_pos == other.generate_pos:
+            return self.window != other.window or self.m != other.m
+        if other.propagate_low <= self.generate_pos <= other.propagate_high:
+            return True
+        if self.propagate_low <= other.generate_pos <= self.propagate_high:
+            return True
+        return False
+
+
+def error_events(config: GeArConfig) -> List[ErrorEvent]:
+    """All R·(k-1) error-generating events of a configuration.
+
+    Positions follow the paper's nominal arithmetic (window base ``R·s``)
+    even in partial mode, matching how Table IV applies the model to
+    non-divisible (N-L)/R configurations.
+    """
+    events: List[ErrorEvent] = []
+    for s in range(1, config.k):
+        base = config.r * s
+        span_high = base + config.p - 1
+        for m in range(1, config.r + 1):
+            q = base - config.r + (m - 1)
+            events.append(
+                ErrorEvent(
+                    window=s,
+                    m=m,
+                    generate_pos=q,
+                    propagate_low=q + 1,
+                    propagate_high=span_high,
+                )
+            )
+    return events
+
+
+def error_probability(config: GeArConfig) -> float:
+    """ρ[Error] per the paper's model (Eq. 7), evaluated by dynamic program.
+
+    Compatible event subsets contain at most one event per window and have
+    pairwise-disjoint supports, so ``1 - ρ[Error]`` equals the sum over
+    compatible subsets of ``∏(-ρ[Z])`` — computed in O(k²·R²) by tracking
+    the most recent window that hosts a selected event.
+    """
+    if config.is_exact:
+        return 0.0
+    r, p = config.r, config.p
+    windows = config.k - 1
+
+    def allowed_sum(s: int, prev_end: int) -> float:
+        """Σ over events of window s with generate position > prev_end."""
+        total = 0.0
+        base = r * s
+        for m in range(1, r + 1):
+            q = base - r + (m - 1)
+            if q > prev_end:
+                total += 0.25 * 0.5 ** (base + p - 1 - q)
+        return total
+
+    # signed[s] = Σ ∏(-ρ) over subsets whose last (highest) event window is s
+    signed: List[float] = [0.0] * (windows + 1)
+    total = 1.0  # the empty subset
+    for s in range(1, windows + 1):
+        acc = -allowed_sum(s, -1)  # subsets where s is the only/first window
+        for s_prev in range(1, s):
+            prev_end = r * s_prev + p - 1
+            contribution = -allowed_sum(s, prev_end)
+            acc += signed[s_prev] * contribution
+        signed[s] = acc
+        total += acc
+    probability = 1.0 - total
+    # Clamp away floating-point dust.
+    return min(1.0, max(0.0, probability))
+
+
+def error_probability_brute(config: GeArConfig, max_events: int = 22) -> float:
+    """Literal Eq. 7: inclusion–exclusion over all compatible event subsets.
+
+    Exponential in the event count; refuses configurations with more than
+    ``max_events`` events.  Exists to cross-check :func:`error_probability`.
+    """
+    events = error_events(config)
+    if len(events) > max_events:
+        raise ValueError(
+            f"{len(events)} events exceed max_events={max_events}; "
+            "use error_probability() instead"
+        )
+
+    def recurse(index: int, chosen: List[ErrorEvent]) -> float:
+        if index == len(events):
+            if not chosen:
+                return 0.0
+            sign = -1.0 if len(chosen) % 2 == 0 else 1.0
+            joint = 1.0
+            for e in chosen:
+                joint *= e.probability
+            return sign * joint
+        total = recurse(index + 1, chosen)
+        event = events[index]
+        if all(not event.excludes(c) for c in chosen):
+            chosen.append(event)
+            total += recurse(index + 1, chosen)
+            chosen.pop()
+        return total
+
+    return recurse(0, [])
+
+
+def error_probability_exact(config: GeArConfig) -> float:
+    """Exact ρ[Error] for i.i.d. uniform operand bits, from first principles.
+
+    Agrees with :func:`error_probability` on every configuration (see the
+    module docstring); retained as an independent validation path and for
+    windowed adders whose geometry deviates from GeAr's (partial windows
+    use their actual prediction depths here).
+
+    A sub-adder window errs iff the true carry entering its lowest read bit
+    is 1 *and* all its prediction bits propagate — then and only then does
+    its result field miss an incoming carry.  The probability that no
+    window errs is computed by a forward DP over bit positions with state
+    ``(carry into the next bit, trailing propagate-run length)``; the run
+    length is capped at the largest prediction depth.  When every P
+    prediction bits propagate, the carry leaving the prediction span equals
+    the carry entering it, so the check at the span's top bit sees exactly
+    the quantities needed.
+    """
+    return error_probability_windows(config.windows(), config.n)
+
+
+def error_probability_windows(windows, n: int) -> float:
+    """Exact ρ[Error] of an arbitrary windowed speculative adder.
+
+    Works from the actual :class:`SpeculativeWindow` geometry, so it covers
+    ETAIIM's fused segments and GDA's zero-anchored blocks as well as plain
+    GeAr configurations.  Windows anchored at bit 0 see every lower bit and
+    cannot err, so they contribute no check.
+    """
+    if len(windows) == 1:
+        return 0.0
+    checks = {}
+    max_pred = 0
+    for w in windows[1:]:
+        if w.low == 0:
+            continue  # sees all lower bits: exact
+        pred = w.prediction_bits
+        max_pred = max(max_pred, pred)
+        checks.setdefault(w.result_low - 1, []).append(pred)
+    if not checks:
+        return 0.0
+
+    cap = max_pred
+    # state[(carry, run)] = probability mass; run capped at `cap`.
+    state = {(0, 0): 1.0}
+    error_mass = 0.0
+    for bit in range(n):
+        nxt: dict = {}
+
+        def put(key, value):
+            nxt[key] = nxt.get(key, 0.0) + value
+
+        for (carry, run), mass in state.items():
+            put((carry, min(run + 1, cap)), mass * 0.5)  # propagate
+            put((1, 0), mass * 0.25)  # generate
+            put((0, 0), mass * 0.25)  # kill
+        if bit in checks:
+            for pred in sorted(checks[bit], reverse=True):
+                for (carry, run) in list(nxt):
+                    if carry == 1 and run >= pred:
+                        error_mass += nxt.pop((carry, run))
+        state = nxt
+    return error_mass
+
+
+def accuracy_percentage(config: GeArConfig, exact: bool = False) -> float:
+    """(1 - ρ[Error]) · 100 — the quantity plotted in Fig. 7."""
+    prob = error_probability_exact(config) if exact else error_probability(config)
+    return (1.0 - prob) * 100.0
+
+
+def _carry_probability_profile(width: int) -> List[float]:
+    """c[q] = P(carry into bit q) for uniform operands, c[0] = 0.
+
+    Recurrence c[q+1] = ρ[Gr] + ρ[Pr]·c[q] = 1/4 + c[q]/2.
+    """
+    profile = [0.0]
+    for _ in range(width):
+        profile.append(0.25 + 0.5 * profile[-1])
+    return profile
+
+
+def mean_error_distance_upper_bound(config: GeArConfig) -> float:
+    """Upper bound on E[|approx - exact|] for uniform operands.
+
+    The deficit decomposes as Σ_i m_i · 2^{result_low_i} *minus* wrap
+    cancellations (a missed carry that overflows an all-ones result field
+    hands its weight to the next window).  Dropping the cancellations gives
+    this bound: ρ[m_i] = ρ[Pr]^{pred} · c(low_i) since the propagate
+    conjunct and the incoming-carry conjunct concern disjoint bit sets.
+    """
+    profile = _carry_probability_profile(config.n)
+    med = 0.0
+    for w in config.windows()[1:]:
+        miss = 0.5 ** w.prediction_bits * profile[w.low]
+        med += miss * 2.0 ** w.result_low
+    return med
+
+
+def mean_error_distance_windows(windows, n: int) -> float:
+    """Exact E[|approx - exact|] of a windowed speculative adder.
+
+    Uses linearity of expectation over the output fields: each window's
+    local value ``v = A_w + B_w`` follows the triangular distribution of a
+    sum of two i.i.d. uniforms, so E[(v >> P) mod 2^R] is computable in
+    closed (enumerated) form per window regardless of window overlap.  The
+    exact sum's expectation is 2^N - 1, hence
+
+        MED = (2^N - 1) - Σ_w E[field_w]·2^{result_low_w} - P(cout)·2^N
+
+    (approximate never exceeds exact for these adders, so E[error] = MED).
+
+    Args:
+        windows: the adder's :class:`SpeculativeWindow` list.
+        n: operand width.
+    """
+    import numpy as np
+
+    expected_approx = 0.0
+    for w in windows:
+        length = w.length
+        if length > 26:
+            raise ValueError(
+                f"window length {length} too large for exact MED enumeration"
+            )
+        v = np.arange(0, (1 << (length + 1)) - 1, dtype=np.int64)
+        counts = np.minimum(v, (1 << (length + 1)) - 2 - v) + 1
+        probs = counts / float(4 ** length)
+        field = (v >> w.prediction_bits) & ((1 << w.result_bits) - 1)
+        expected_approx += float((probs * field).sum()) * 2.0 ** w.result_low
+    # Speculative carry out of the last window.
+    last_len = windows[-1].length
+    p_cout = 1.0 - (2 ** last_len + 1) / float(2 ** (last_len + 1))
+    expected_approx += p_cout * 2.0 ** n
+    return (2.0 ** n - 1.0) - expected_approx
+
+
+def mean_error_distance_analytic(config: GeArConfig) -> float:
+    """Exact E[|approx - exact|] of a GeAr configuration (uniform operands)."""
+    return mean_error_distance_windows(config.windows(), config.n)
+
+
+def mean_error_distance_paper_model(config: GeArConfig) -> float:
+    """E[|approx - exact|] with the paper's truncated carry chains.
+
+    Same decomposition as :func:`mean_error_distance_analytic` but the
+    carry into each window is restricted to the R bits below it (the
+    event set of Eq. 5): ρ[m_s] = Σ_m ρ[Z_{s,m}].
+    """
+    med = 0.0
+    window_objects = config.windows()[1:]
+    events = error_events(config)
+    for s, w in enumerate(window_objects, start=1):
+        miss = sum(e.probability for e in events if e.window == s)
+        med += miss * 2.0 ** w.result_low
+    return med
+
+
+def max_error_distance(config: GeArConfig) -> int:
+    """Upper bound on |approx - exact|: Σ speculative 2^{result_low}.
+
+    Tight for k = 2 (a single speculative window).  For k > 2 simultaneous
+    misses can partially cancel — a missed carry that overflows an
+    all-ones result field hands its weight to the next window — so the
+    realised worst case may be lower.  Used as the NED normaliser.
+    """
+    return sum(1 << w.result_low for w in config.windows()[1:])
+
+
+def normalized_error_distance_analytic(config: GeArConfig) -> float:
+    """NED = MED / max-error-distance, both from the exact analytic model."""
+    if config.is_exact:
+        return 0.0
+    return mean_error_distance_analytic(config) / max_error_distance(config)

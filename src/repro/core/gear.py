@@ -1,0 +1,172 @@
+"""The GeAr adder model of §3.1.
+
+A GeAr adder is fully defined by three parameters ``(N, R, P)``:
+
+* ``N`` — operand width,
+* ``R`` — resultant bits contributed by each speculative sub-adder,
+* ``P`` — previous (carry-prediction) bits per sub-adder,
+* derived: sub-adder length ``L = R + P`` and sub-adder count
+  ``k = (N - L) / R + 1`` (Eq. 1).
+
+The first sub-adder covers bits ``[L-1:0]`` and contributes all L bits
+(Eq. 2); sub-adder ``i`` (1 < i <= k) covers ``[R·i+P-1 : R·(i-1)]`` and
+contributes its top R bits (Eq. 3).
+
+When ``(N - L)`` is not a multiple of ``R`` the paper still evaluates the
+configuration (Table IV uses R = 3, 6, 7 with N = 20, L = 10): its error
+model simply uses ``k - 1 = ceil((N - L)/R)`` speculative sub-adders.  We
+support this with ``allow_partial=True``: the last sub-adder is anchored at
+the top of the word (``high = N-1``) and contributes the remaining
+``< R`` result bits.  Strict mode (default) raises instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.adders.base import (
+    AdderModel,
+    IntLike,
+    SpeculativeWindow,
+    WindowedSpeculativeAdder,
+)
+from repro.utils.validation import check_pos_int
+
+
+@dataclass(frozen=True)
+class GeArConfig:
+    """An (N, R, P) GeAr configuration.
+
+    Attributes:
+        n: operand width N.
+        r: resultant bits per speculative sub-adder.
+        p: previous (carry-prediction) bits per sub-adder.
+        allow_partial: accept configurations where ``(N - L) % R != 0`` by
+            shortening the last sub-adder's result field (see module doc).
+    """
+
+    n: int
+    r: int
+    p: int
+    allow_partial: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        check_pos_int("n", self.n)
+        check_pos_int("r", self.r)
+        check_pos_int("p", self.p)
+        if self.L > self.n:
+            raise ValueError(
+                f"sub-adder length L=R+P={self.L} exceeds operand width N={self.n}"
+            )
+        if not self.allow_partial and (self.n - self.L) % self.r != 0:
+            raise ValueError(
+                f"(N-L) = {self.n - self.L} is not a multiple of R = {self.r}; "
+                "pass allow_partial=True to accept a shortened last sub-adder"
+            )
+
+    # -- derived quantities (paper notation) --------------------------------
+
+    @property
+    def L(self) -> int:
+        """Sub-adder length L = R + P."""
+        return self.r + self.p
+
+    @property
+    def k(self) -> int:
+        """Sub-adder count, Eq. 1 (rounded up in partial mode)."""
+        return math.ceil((self.n - self.L) / self.r) + 1
+
+    @property
+    def is_exact(self) -> bool:
+        """A single sub-adder spanning the whole word is an exact adder."""
+        return self.k == 1
+
+    @property
+    def speculative_subadders(self) -> int:
+        """Sub-adders whose carry is predicted rather than propagated."""
+        return self.k - 1
+
+    def windows(self) -> List[SpeculativeWindow]:
+        """The k sub-adder windows, lowest first.
+
+        Window 0 covers ``[0, L-1]`` and drives all L bits.  Window ``i``
+        covers ``[R·i, R·i + L - 1]`` and drives its top R bits, except that
+        in partial mode the last window is anchored at ``high = N-1``.
+        """
+        result: List[SpeculativeWindow] = [
+            SpeculativeWindow(low=0, high=self.L - 1, result_low=0, result_high=self.L - 1)
+        ]
+        for i in range(1, self.k):
+            low = self.r * i
+            high = low + self.L - 1
+            result_low = low + self.p
+            if high > self.n - 1:
+                # Partial last window: keep length L, anchor at the top.
+                high = self.n - 1
+                low = high - self.L + 1
+                result_low = result[-1].result_high + 1
+            result.append(
+                SpeculativeWindow(
+                    low=low, high=high, result_low=result_low, result_high=high
+                )
+            )
+        return result
+
+    def describe(self) -> str:
+        """Compact human-readable summary, e.g. ``GeAr(N=12, R=4, P=4), k=2``."""
+        return f"GeAr(N={self.n}, R={self.r}, P={self.p}), L={self.L}, k={self.k}"
+
+    @classmethod
+    def from_sub_adder_length(cls, n: int, r: int, sub_adder_len: int,
+                              allow_partial: bool = False) -> "GeArConfig":
+        """Build a config from (N, R, L) instead of (N, R, P)."""
+        if sub_adder_len <= r:
+            raise ValueError(
+                f"sub-adder length {sub_adder_len} must exceed R={r}"
+            )
+        return cls(n, r, sub_adder_len - r, allow_partial=allow_partial)
+
+
+class GeArAdder(WindowedSpeculativeAdder):
+    """Functional GeAr adder.
+
+    Wraps :class:`GeArConfig` in the common :class:`AdderModel` interface;
+    behaves bit-exactly like the paper's architecture including the
+    speculative carry out.  Vectorises over NumPy arrays.
+    """
+
+    def __init__(self, config: GeArConfig) -> None:
+        self.config = config
+        super().__init__(
+            config.n,
+            f"GeAr(N={config.n},R={config.r},P={config.p})",
+            config.windows(),
+        )
+
+    @classmethod
+    def from_params(cls, n: int, r: int, p: int, allow_partial: bool = False) -> "GeArAdder":
+        return cls(GeArConfig(n, r, p, allow_partial=allow_partial))
+
+    @property
+    def is_exact(self) -> bool:
+        return self.config.is_exact
+
+    def error_probability(self) -> float:
+        """Analytic error probability from the paper's model (§3.2)."""
+        from repro.core.error_model import error_probability
+
+        return error_probability(self.config)
+
+    def build_netlist(self):
+        from repro.rtl.builders import build_gear
+
+        name = f"gear_{self.config.n}_{self.config.r}_{self.config.p}"
+        return build_gear(
+            self.config.n,
+            self.config.r,
+            self.config.p,
+            name=name,
+            allow_partial=self.config.allow_partial,
+        )

@@ -1,0 +1,91 @@
+"""Two's-complement signed arithmetic on top of any adder model.
+
+The paper's adders are defined on unsigned operands; real datapaths (SAD
+residuals, filter taps) are signed.  The standard identity makes any
+unsigned adder signed: for N-bit two's-complement operands, the correct
+(N+1)-bit signed sum pattern is the unsigned sum plus ``2^N`` per negative
+operand, taken mod ``2^(N+1)``.  Approximation error magnitudes carry over
+unchanged, so all error models remain valid.
+
+Subtraction uses ``a - b = a + (-b)``; ``-b`` must be representable, i.e.
+``b != -2^(N-1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.adders.base import AdderModel, IntLike
+from repro.utils.bitvec import mask
+
+
+class SignedAdder:
+    """Signed add/subtract wrapper around an :class:`AdderModel`.
+
+    Operands are Python ints or integer arrays in
+    ``[-2^(N-1), 2^(N-1) - 1]``; results are exact-width ``N+1``-bit signed
+    values (no overflow possible).
+    """
+
+    def __init__(self, adder: AdderModel) -> None:
+        self.adder = adder
+        self.width = adder.width
+
+    def _validate(self, name: str, value: IntLike) -> IntLike:
+        lo = -(1 << (self.width - 1))
+        hi = (1 << (self.width - 1)) - 1
+        if isinstance(value, np.ndarray):
+            if not np.issubdtype(value.dtype, np.integer):
+                raise TypeError(f"{name} must be an integer array")
+            if value.size and (value.min() < lo or value.max() > hi):
+                raise ValueError(f"{name} outside [{lo}, {hi}]")
+            return value.astype(np.int64, copy=False)
+        if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+            raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+        if not lo <= int(value) <= hi:
+            raise ValueError(f"{name}={value} outside [{lo}, {hi}]")
+        return int(value)
+
+    def add(self, a: IntLike, b: IntLike) -> IntLike:
+        """Signed (possibly approximate) sum of ``a`` and ``b``."""
+        a = self._validate("a", a)
+        b = self._validate("b", b)
+        n = self.width
+        a_u = a & mask(n)
+        b_u = b & mask(n)
+        unsigned = self.adder.add(a_u, b_u)
+        sign_fix = (((a_u >> (n - 1)) & 1) + ((b_u >> (n - 1)) & 1)) << n
+        pattern = (unsigned + sign_fix) & mask(n + 1)
+        # Interpret as (n+1)-bit two's complement.
+        sign_bit = (pattern >> n) & 1
+        result = pattern - (sign_bit << (n + 1))
+        return result
+
+    def add_exact(self, a: IntLike, b: IntLike) -> IntLike:
+        """Reference exact signed sum."""
+        a = self._validate("a", a)
+        b = self._validate("b", b)
+        return a + b
+
+    def subtract(self, a: IntLike, b: IntLike) -> IntLike:
+        """Signed (possibly approximate) difference ``a - b``.
+
+        Raises when any ``b`` equals ``-2^(N-1)`` (its negation is not
+        representable at width N).
+        """
+        b = self._validate("b", b)
+        lo = -(1 << (self.width - 1))
+        if isinstance(b, np.ndarray):
+            if b.size and b.min() == lo:
+                raise ValueError(f"cannot negate {lo} at width {self.width}")
+            return self.add(a, -b)
+        if b == lo:
+            raise ValueError(f"cannot negate {lo} at width {self.width}")
+        return self.add(a, -b)
+
+    def error_distance(self, a: IntLike, b: IntLike) -> IntLike:
+        """|approximate - exact| for the signed sum."""
+        diff = self.add(a, b) - self.add_exact(a, b)
+        return np.abs(diff) if isinstance(diff, np.ndarray) else abs(diff)

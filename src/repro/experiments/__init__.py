@@ -1,0 +1,45 @@
+"""Reproduction of every table and figure in the paper's evaluation.
+
+One module per artefact; each exposes a ``run_*`` function returning
+structured rows plus a ``render_*`` helper that prints the same rows the
+paper reports.  The benchmark harness under ``benchmarks/`` wraps these
+functions in pytest-benchmark; the CLI prints them directly.
+"""
+
+from repro.experiments.fig1 import run_fig1, render_fig1
+from repro.experiments.fig7 import run_fig7, render_fig7
+from repro.experiments.fig8 import run_fig8, render_fig8
+from repro.experiments.fig9 import run_fig9, render_fig9
+from repro.experiments.table1 import run_table1, render_table1
+from repro.experiments.table2 import run_table2, render_table2
+from repro.experiments.table3 import run_table3, render_table3
+from repro.experiments.table4 import run_table4, render_table4
+from repro.experiments.ablation import (
+    run_distribution_sensitivity_ablation,
+    run_correction_policy_ablation,
+    render_distribution_sensitivity_ablation,
+    render_correction_policy_ablation,
+)
+
+__all__ = [
+    "run_fig1",
+    "render_fig1",
+    "run_fig7",
+    "render_fig7",
+    "run_fig8",
+    "render_fig8",
+    "run_fig9",
+    "render_fig9",
+    "run_table1",
+    "render_table1",
+    "run_table2",
+    "render_table2",
+    "run_table3",
+    "render_table3",
+    "run_table4",
+    "render_table4",
+    "run_distribution_sensitivity_ablation",
+    "run_correction_policy_ablation",
+    "render_distribution_sensitivity_ablation",
+    "render_correction_policy_ablation",
+]

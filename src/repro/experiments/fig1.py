@@ -1,0 +1,67 @@
+"""Fig. 1 — design-space comparison of ETAII, ACA-II, GDA and GeAr.
+
+For N=16 and R ∈ {2, 4}, the figure varies the carry-prediction depth from
+1 to N-R and marks which architectures can realise each point.  ACA-II and
+ETAII offer exactly one point (P = R); GDA offers the multiples of R;
+GeAr offers every P.  Each point carries its model accuracy, so the
+summary counts reproduce the "sparse design space" observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.core.configspace import (
+    count_configurations,
+    enumerate_fixed_architecture_points,
+    enumerate_gda_points,
+    enumerate_gear_points,
+)
+
+FIG1_WIDTH = 16
+FIG1_R_VALUES = (2, 4)
+ARCHITECTURES = ("GeAr", "GDA", "ACA-II", "ETAII", "ACA-I")
+
+
+@dataclass(frozen=True)
+class Fig1Panel:
+    r: int
+    points_per_architecture: Dict[str, List[int]]  # architecture -> sorted P list
+    counts: Dict[str, int]
+
+
+def run_fig1(n: int = FIG1_WIDTH,
+             r_values: Sequence[int] = FIG1_R_VALUES) -> List[Fig1Panel]:
+    panels: List[Fig1Panel] = []
+    for r in r_values:
+        points = {
+            "GeAr": sorted(pt.p for pt in enumerate_gear_points(n, r)),
+            "GDA": sorted(pt.p for pt in enumerate_gda_points(n, r)),
+            "ACA-II": sorted(pt.p for pt in enumerate_fixed_architecture_points(n, r)),
+            "ETAII": sorted(pt.p for pt in enumerate_fixed_architecture_points(n, r)),
+            "ACA-I": [r] if r == 1 else [],
+        }
+        counts = {arch: count_configurations(n, arch, r) for arch in ARCHITECTURES}
+        panels.append(Fig1Panel(r=r, points_per_architecture=points, counts=counts))
+    return panels
+
+
+def render_fig1(panels: Optional[List[Fig1Panel]] = None) -> str:
+    panels = panels if panels is not None else run_fig1()
+    blocks: List[str] = []
+    for panel in panels:
+        rows = []
+        for arch in ARCHITECTURES:
+            pts = panel.points_per_architecture[arch]
+            rows.append((arch, panel.counts[arch],
+                         ",".join(str(p) for p in pts) or "-"))
+        blocks.append(
+            format_table(
+                ["architecture", "#configs", "P values"],
+                rows,
+                title=f"Fig. 1 — N={FIG1_WIDTH}, R={panel.r}: configurability",
+            )
+        )
+    return "\n\n".join(blocks)

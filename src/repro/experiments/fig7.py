@@ -1,0 +1,58 @@
+"""Fig. 7 — probabilistic accuracy vs prediction bits, N=16, R ∈ {2,3,4,8}.
+
+For each resultant width R, sweep the previous-bit count P from 1 until
+the sub-adder spans the whole word, computing each configuration's
+accuracy percentage from the error model.  GDA can only realise the points
+whose P is a multiple of the sub-adder block length, which is the design
+-space gap the figure visualises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.core.configspace import enumerate_gda_points, enumerate_gear_points
+
+#: The paper's four panels.
+FIG7_R_VALUES = (2, 3, 4, 8)
+FIG7_WIDTH = 16
+
+
+@dataclass(frozen=True)
+class Fig7Point:
+    r: int
+    p: int
+    accuracy_pct: float
+    gear: bool
+    gda: bool
+
+
+def run_fig7(n: int = FIG7_WIDTH,
+             r_values: Sequence[int] = FIG7_R_VALUES) -> Dict[int, List[Fig7Point]]:
+    """Accuracy series per panel (one entry per R value)."""
+    panels: Dict[int, List[Fig7Point]] = {}
+    for r in r_values:
+        gear = {pt.p: pt for pt in enumerate_gear_points(n, r, include_exact=True)}
+        gda = {pt.p for pt in enumerate_gda_points(n, r, include_exact=True)}
+        points = [
+            Fig7Point(r=r, p=p, accuracy_pct=pt.accuracy, gear=True, gda=p in gda)
+            for p, pt in sorted(gear.items())
+        ]
+        panels[r] = points
+    return panels
+
+
+def render_fig7(panels: Optional[Dict[int, List[Fig7Point]]] = None) -> str:
+    panels = panels if panels is not None else run_fig7()
+    blocks: List[str] = []
+    for r, points in panels.items():
+        blocks.append(
+            format_table(
+                ["P", "accuracy %", "GeAr", "GDA"],
+                [(pt.p, f"{pt.accuracy_pct:.4f}", pt.gear, pt.gda) for pt in points],
+                title=f"Fig. 7 — N=16, R={r}: accuracy vs previous bits",
+            )
+        )
+    return "\n\n".join(blocks)

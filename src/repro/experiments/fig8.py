@@ -1,0 +1,69 @@
+"""Fig. 8 — Delay × NED of GeAr vs GDA per 8-bit configuration.
+
+Directly derived from the Table II rows: for every shared (R, P) the GeAr
+implementation should achieve the lower Delay×NED (identical NED, smaller
+delay) — the figure's claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.tables import format_table
+from repro.experiments.table2 import TABLE2_CONFIGS, Table2Row, run_table2
+
+
+@dataclass(frozen=True)
+class Fig8Point:
+    r: int
+    p: int
+    gear_delay_ned: float
+    gda_delay_ned: float
+
+    @property
+    def gear_wins(self) -> bool:
+        return self.gear_delay_ned <= self.gda_delay_ned
+
+    @property
+    def improvement(self) -> float:
+        """GDA/GeAr Delay×NED ratio (>1 means GeAr is better)."""
+        if self.gear_delay_ned == 0:
+            return float("inf")
+        return self.gda_delay_ned / self.gear_delay_ned
+
+
+def run_fig8(rows: Optional[List[Table2Row]] = None) -> List[Fig8Point]:
+    rows = rows if rows is not None else run_table2()
+    gda = {(r.r, r.p): r for r in rows if r.architecture == "GDA"}
+    gear = {(r.r, r.p): r for r in rows if r.architecture == "GeAr"}
+    points: List[Fig8Point] = []
+    for key in TABLE2_CONFIGS:
+        if key in gda and key in gear:
+            points.append(
+                Fig8Point(
+                    r=key[0],
+                    p=key[1],
+                    gear_delay_ned=gear[key].delay_ned_product,
+                    gda_delay_ned=gda[key].delay_ned_product,
+                )
+            )
+    return points
+
+
+def render_fig8(points: Optional[List[Fig8Point]] = None) -> str:
+    points = points if points is not None else run_fig8()
+    return format_table(
+        ["(R,P)", "GeAr Delay×NED", "GDA Delay×NED", "GeAr wins", "GDA/GeAr"],
+        [
+            (
+                f"({pt.r},{pt.p})",
+                f"{pt.gear_delay_ned:.4e}",
+                f"{pt.gda_delay_ned:.4e}",
+                pt.gear_wins,
+                f"{pt.improvement:.2f}x",
+            )
+            for pt in points
+        ],
+        title="Fig. 8 — Delay × NED, GeAr vs GDA (8-bit)",
+    )

@@ -1,0 +1,44 @@
+"""Error metrics, Monte-Carlo simulation and exhaustive evaluation."""
+
+from repro.metrics.error_metrics import (
+    ErrorStats,
+    acceptance_probability,
+    accuracy_amplitude,
+    accuracy_information,
+    compute_error_stats,
+    error_distances,
+)
+from repro.metrics.simulate import (
+    SimulationReport,
+    monte_carlo_stats,
+    simulate_error_probability,
+)
+from repro.metrics.exhaustive import exhaustive_stats, exhaustive_error_probability
+from repro.metrics.confidence import (
+    Interval,
+    estimate_consistent_with,
+    required_samples,
+    wilson_interval,
+)
+from repro.metrics.spectrum import ErrorSpectrum, error_spectrum, spectrum_table
+
+__all__ = [
+    "ErrorStats",
+    "acceptance_probability",
+    "accuracy_amplitude",
+    "accuracy_information",
+    "compute_error_stats",
+    "error_distances",
+    "SimulationReport",
+    "monte_carlo_stats",
+    "simulate_error_probability",
+    "exhaustive_stats",
+    "exhaustive_error_probability",
+    "Interval",
+    "estimate_consistent_with",
+    "required_samples",
+    "wilson_interval",
+    "ErrorSpectrum",
+    "error_spectrum",
+    "spectrum_table",
+]

@@ -1,0 +1,479 @@
+"""Netlist constructors for every adder architecture in the paper.
+
+Each builder returns a :class:`~repro.rtl.netlist.Netlist` with input buses
+``A`` and ``B`` (width N) and an output bus ``S`` of width N+1 (the MSB is
+the carry out, except for architectures that cannot produce one).  The GeAr
+builder additionally exposes an ``ERR`` bus with one error-detection flag
+per speculative sub-adder (§3.3: an AND of the predicted carry and the
+previous sub-adder's carry out).
+
+Wide AND/OR reductions are decomposed into bounded-fan-in trees so both the
+LUT-area estimate and the STA see realistic structures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.rtl.gates import Op
+from repro.rtl.netlist import Netlist
+from repro.utils.validation import check_pos_int
+
+#: Maximum fan-in used when decomposing reductions into gate trees.  Four
+#: keeps one tree level per LUT pair and matches how ISE maps wide gates.
+TREE_FANIN = 4
+
+
+def _tree(netlist: Netlist, op: Op, nets: Sequence[str], group: str = "") -> str:
+    """Balanced bounded-fan-in reduction tree over ``nets``."""
+    if not nets:
+        raise ValueError("reduction tree needs at least one net")
+    level = list(nets)
+    while len(level) > 1:
+        nxt: List[str] = []
+        for i in range(0, len(level), TREE_FANIN):
+            chunk = level[i : i + TREE_FANIN]
+            if len(chunk) == 1:
+                nxt.append(chunk[0])
+            else:
+                nxt.append(netlist.add_gate(op, chunk, group=group))
+        level = nxt
+    return level[0]
+
+
+def _ripple_chain(
+    netlist: Netlist,
+    a_nets: Sequence[str],
+    b_nets: Sequence[str],
+    cin: Optional[str] = None,
+    group: str = "carry",
+    p_group: str = "",
+) -> Tuple[List[str], str]:
+    """Ripple-carry addition over parallel net lists.
+
+    Returns (sum nets LSB first, carry-out net).  The carry gates are tagged
+    with ``group`` so the FPGA delay model can ride them on the fast chain.
+    ``p_group`` tags the per-bit propagate LUTs: distinct tags keep two
+    chains over the same bits from sharing LUTs (each slice's LUT feeds its
+    own MUXCY, so physically separate carry chains cannot share them).
+    """
+    if len(a_nets) != len(b_nets):
+        raise ValueError("operand net lists must have equal length")
+    sums: List[str] = []
+    carry = cin
+    for a, b in zip(a_nets, b_nets):
+        # The propagate XOR is the slice LUT; everything else rides the
+        # dedicated carry chain (MUXCY/XORCY) and is tagged accordingly so
+        # the delay and area models treat it as such.
+        p = netlist.xor(a, b, group=p_group)
+        g = netlist.and_(a, b, group=group)
+        if carry is None:
+            sums.append(p)
+            carry = g
+        else:
+            sums.append(netlist.xor(p, carry, group=group))
+            chain = netlist.and_(p, carry, group=group)
+            carry = netlist.or_(g, chain, group=group)
+    assert carry is not None
+    return sums, carry
+
+
+def build_rca(width: int, name: str = "rca") -> Netlist:
+    """N-bit ripple-carry adder; output ``S`` is N+1 bits."""
+    check_pos_int("width", width)
+    nl = Netlist(name)
+    a = nl.add_input_bus("A", width)
+    b = nl.add_input_bus("B", width)
+    sums, cout = _ripple_chain(nl, a, b)
+    nl.set_output_bus("S", sums + [cout])
+    return nl
+
+
+def build_cla(width: int, name: str = "cla") -> Netlist:
+    """N-bit single-level carry-lookahead adder; output ``S`` is N+1 bits.
+
+    Carries are computed by the flat lookahead expansion
+    ``c_{i+1} = g_i | p_i g_{i-1} | ... | p_i..p_0 c_0`` with bounded-fan-in
+    trees, so the structure (wide product terms) matches what makes GDA's
+    prediction slow on an FPGA.
+    """
+    check_pos_int("width", width)
+    nl = Netlist(name)
+    a = nl.add_input_bus("A", width)
+    b = nl.add_input_bus("B", width)
+    g = [nl.and_(a[i], b[i]) for i in range(width)]
+    p = [nl.xor(a[i], b[i]) for i in range(width)]
+    carries = _lookahead_carries(nl, g, p)
+    sums = [p[0]] + [nl.xor(p[i], carries[i - 1]) for i in range(1, width)]
+    nl.set_output_bus("S", sums + [carries[width - 1]])
+    return nl
+
+
+def _lookahead_carries(nl: Netlist, g: Sequence[str], p: Sequence[str]) -> List[str]:
+    """Flat CLA carry nets: carries[i] = carry out of bit i (cin = 0)."""
+    width = len(g)
+    carries: List[str] = []
+    for i in range(width):
+        terms = [g[i]]
+        for j in range(i):
+            factors = [g[j]] + list(p[j + 1 : i + 1])
+            terms.append(_tree(nl, Op.AND, factors))
+        carries.append(terms[0] if len(terms) == 1 else _tree(nl, Op.OR, terms))
+    return carries
+
+
+def build_kogge_stone(width: int, name: str = "ksa") -> Netlist:
+    """N-bit Kogge-Stone parallel-prefix adder; output ``S`` is N+1 bits.
+
+    log2(N) prefix levels of (generate, propagate) merges.  On ASICs this
+    is the classic fast adder; on FPGAs the prefix network maps to generic
+    LUTs and loses to the dedicated carry chain — the same effect that
+    penalises GDA's CLA prediction (§4.2).
+    """
+    check_pos_int("width", width)
+    nl = Netlist(name)
+    a = nl.add_input_bus("A", width)
+    b = nl.add_input_bus("B", width)
+    g = [nl.and_(a[i], b[i]) for i in range(width)]
+    p = [nl.xor(a[i], b[i]) for i in range(width)]
+    prop = list(p)
+    gen = list(g)
+    dist = 1
+    while dist < width:
+        new_gen = list(gen)
+        new_prop = list(prop)
+        for i in range(dist, width):
+            # (g, p) ∘ (g', p') = (g | p·g', p·p')
+            new_gen[i] = nl.or_(gen[i], nl.and_(prop[i], gen[i - dist]))
+            new_prop[i] = nl.and_(prop[i], prop[i - dist])
+        gen, prop = new_gen, new_prop
+        dist <<= 1
+    # gen[i] is now the carry out of bit i (cin = 0).
+    sums = [p[0]] + [nl.xor(p[i], gen[i - 1]) for i in range(1, width)]
+    nl.set_output_bus("S", sums + [gen[width - 1]])
+    return nl
+
+
+def build_carry_select(width: int, block: int = 4, name: str = "csla") -> Netlist:
+    """Carry-select adder: per block, two ripple sums muxed by the carry.
+
+    The first block is a plain ripple chain; each later block computes its
+    sum for carry-in 0 and 1 in parallel and selects with the previous
+    block's resolved carry, shortening the critical path to one block plus
+    a mux chain.
+    """
+    check_pos_int("width", width)
+    check_pos_int("block", block)
+    nl = Netlist(name)
+    a = nl.add_input_bus("A", width)
+    b = nl.add_input_bus("B", width)
+
+    result: List[str] = []
+    carry: Optional[str] = None
+    for base in range(0, width, block):
+        hi = min(base + block, width)
+        a_blk, b_blk = a[base:hi], b[base:hi]
+        if carry is None:
+            sums, carry = _ripple_chain(nl, a_blk, b_blk)
+            result.extend(sums)
+            continue
+        sums0, cout0 = _ripple_chain(nl, a_blk, b_blk, cin=nl.const(0))
+        sums1, cout1 = _ripple_chain(nl, a_blk, b_blk, cin=nl.const(1))
+        for s0, s1 in zip(sums0, sums1):
+            result.append(nl.mux(carry, s0, s1))
+        carry = nl.mux(carry, cout0, cout1)
+    assert carry is not None
+    nl.set_output_bus("S", result + [carry])
+    return nl
+
+
+def build_carry_skip(width: int, block: int = 4, name: str = "cska") -> Netlist:
+    """Carry-skip adder: ripple blocks with a propagate-bypass mux each."""
+    check_pos_int("width", width)
+    check_pos_int("block", block)
+    nl = Netlist(name)
+    a = nl.add_input_bus("A", width)
+    b = nl.add_input_bus("B", width)
+
+    result: List[str] = []
+    carry: Optional[str] = None
+    for base in range(0, width, block):
+        hi = min(base + block, width)
+        a_blk, b_blk = a[base:hi], b[base:hi]
+        cin = carry
+        sums, cout = _ripple_chain(nl, a_blk, b_blk, cin=cin)
+        result.extend(sums)
+        if cin is None:
+            carry = cout
+        else:
+            # Block propagate: all bits propagate -> bypass the ripple.
+            props = [nl.xor(a[j], b[j]) for j in range(base, hi)]
+            block_p = _tree(nl, Op.AND, props)
+            carry = nl.mux(block_p, cout, cin)
+    assert carry is not None
+    nl.set_output_bus("S", result + [carry])
+    return nl
+
+
+def _window_sum(netlist: Netlist, a_nets: Sequence[str], b_nets: Sequence[str],
+                style: str) -> Tuple[List[str], str]:
+    """Sub-adder implementation selector for GeAr windows (§4.4 remark:
+    the model is not specific to any sub-adder type)."""
+    if style == "rca":
+        return _ripple_chain(netlist, a_nets, b_nets)
+    if style == "cla":
+        g = [netlist.and_(x, y) for x, y in zip(a_nets, b_nets)]
+        p = [netlist.xor(x, y) for x, y in zip(a_nets, b_nets)]
+        carries = _lookahead_carries(netlist, g, p)
+        sums = [p[0]] + [netlist.xor(p[i], carries[i - 1])
+                         for i in range(1, len(a_nets))]
+        return sums, carries[-1]
+    raise ValueError(f"unknown sub-adder style {style!r}; use 'rca' or 'cla'")
+
+
+def build_gear(
+    n: int,
+    r: int,
+    p: int,
+    name: str = "gear",
+    with_error_detect: bool = True,
+    allow_partial: bool = False,
+    sub_adder: str = "rca",
+) -> Netlist:
+    """GeAr(N, R, P) netlist per §3.1 (Fig. 2).
+
+    The first sub-adder is an L-bit ripple chain contributing L result bits;
+    every subsequent sub-adder is an L-bit ripple chain whose top R sum bits
+    contribute to the result and whose low P bits only predict the carry.
+    When ``with_error_detect`` is set, output bus ``ERR`` carries one flag
+    per speculative sub-adder: ``cp_i AND co_{i-1}`` (§3.3), where ``cp_i``
+    is the AND of the P propagate bits (Eq. 4) and ``co_{i-1}`` the previous
+    sub-adder's true carry out.
+    """
+    from repro.core.gear import GeArConfig  # local import to avoid a cycle
+
+    cfg = GeArConfig(n, r, p, allow_partial=allow_partial)
+    nl = Netlist(name)
+    a = nl.add_input_bus("A", n)
+    b = nl.add_input_bus("B", n)
+
+    result: List[str] = [""] * n
+    carry_outs: List[str] = []
+    predicts: List[str] = []
+
+    for i, window in enumerate(cfg.windows()):
+        lo, hi = window.low, window.high
+        sums, cout = _window_sum(nl, a[lo : hi + 1], b[lo : hi + 1], sub_adder)
+        carry_outs.append(cout)
+        if i == 0:
+            result[lo : hi + 1] = sums
+            predicts.append(nl.const(0))  # first sub-adder predicts nothing
+        else:
+            pred = window.prediction_bits
+            result[window.result_low : window.result_high + 1] = sums[pred:]
+            prop_bits = [nl.xor(a[lo + j], b[lo + j]) for j in range(pred)]
+            predicts.append(_tree(nl, Op.AND, prop_bits))
+
+    nl.set_output_bus("S", result + [carry_outs[-1]])
+    if with_error_detect and cfg.k > 1:
+        err = [
+            nl.and_(predicts[i], carry_outs[i - 1])
+            for i in range(1, cfg.k)
+        ]
+        nl.set_output_bus("ERR", err)
+    return nl
+
+
+def build_etaii(n: int, sub_adder_len: int, name: str = "etaii") -> Netlist:
+    """ETAII [9] in its native structure: sum units + carry generators.
+
+    Functionally equal to GeAr(N, L/2, L/2) (the §3.1 coverage relation),
+    but built the way Zhu et al. describe: the word splits into
+    non-overlapping L/2-bit *sum units*, each fed a carry by a separate
+    *carry generator* rippling over the L/2 bits below it.  The sum unit
+    and the carry generator over the same bits are distinct hardware —
+    that duplication is why Table I reports ETAII at 28 LUTs against
+    ACA-II's 24 for the same function.
+    """
+    if sub_adder_len % 2 != 0:
+        raise ValueError("ETAII sub-adder length must be even")
+    half = sub_adder_len // 2
+    if n % half != 0:
+        raise ValueError(
+            f"ETAII needs N divisible by the segment size {half}, got {n}"
+        )
+    nl = Netlist(name)
+    a = nl.add_input_bus("A", n)
+    b = nl.add_input_bus("B", n)
+
+    result: List[str] = []
+    cout: Optional[str] = None
+    for base in range(0, n, half):
+        hi = base + half
+        if base == 0:
+            cin = None
+        else:
+            # Dedicated carry generator over the previous segment: its own
+            # carry chain, so its propagate LUTs cannot be shared with the
+            # sum unit covering the same bits (distinct p_group).
+            lo = base - half
+            _, cin = _ripple_chain(nl, a[lo:base], b[lo:base],
+                                   p_group="carrygen")
+        sums, cout = _ripple_chain(nl, a[base:hi], b[base:hi], cin=cin)
+        result.extend(sums)
+    assert cout is not None
+    nl.set_output_bus("S", result + [cout])
+    return nl
+
+
+def build_aca1(n: int, sub_adder_len: int, name: str = "aca1") -> Netlist:
+    """ACA-I [8]: overlapping sub-adders with one resultant bit each —
+    GeAr(N, 1, L−1)."""
+    return build_gear(n, 1, sub_adder_len - 1, name=name)
+
+
+def build_aca2(n: int, sub_adder_len: int, name: str = "aca2") -> Netlist:
+    """ACA-II [10]: overlapping sub-adders with L/2 resultant bits —
+    GeAr(N, L/2, L/2) structurally (unlike ETAII's sum-unit/carry-generator
+    split, ACA-II's windows *are* the shared hardware)."""
+    if sub_adder_len % 2 != 0:
+        raise ValueError("ACA-II needs an even sub-adder length")
+    half = sub_adder_len // 2
+    return build_gear(n, half, half, name=name)
+
+
+def build_gda(n: int, mb: int, mc: int, name: str = "gda") -> Netlist:
+    """GDA [13] in its uniform-prediction configuration.
+
+    The operands are split into N/M_B non-overlapping blocks added by ripple
+    sub-adders.  The carry into each block is predicted by a *carry
+    look-ahead* unit over the M_C bits below the block boundary (this CLA is
+    what makes GDA slower: §4.2).  Output ``S`` is N+1 bits (the top block's
+    carry out is speculative, like the paper's).
+    """
+    check_pos_int("n", n)
+    check_pos_int("mb", mb)
+    check_pos_int("mc", mc)
+    if n % mb != 0:
+        raise ValueError(f"GDA needs N divisible by M_B, got N={n}, M_B={mb}")
+    if mc > n - mb:
+        raise ValueError(f"M_C={mc} exceeds available lower bits for N={n}, M_B={mb}")
+
+    nl = Netlist(name)
+    a = nl.add_input_bus("A", n)
+    b = nl.add_input_bus("B", n)
+
+    result: List[str] = []
+    last_cout = None
+    for base in range(0, n, mb):
+        if base == 0:
+            cin = None
+        else:
+            lo = max(0, base - mc)
+            g = [nl.and_(a[j], b[j]) for j in range(lo, base)]
+            p = [nl.xor(a[j], b[j]) for j in range(lo, base)]
+            cin = _lookahead_carries(nl, g, p)[-1]
+        sums, last_cout = _ripple_chain(nl, a[base : base + mb], b[base : base + mb], cin=cin)
+        result.extend(sums)
+    assert last_cout is not None
+    nl.set_output_bus("S", result + [last_cout])
+    return nl
+
+
+def build_gear_corrected(
+    n: int,
+    r: int,
+    p: int,
+    name: str = "gear_corrected",
+    allow_partial: bool = False,
+) -> Netlist:
+    """GeAr datapath with the §3.3 correction circuit (Figs. 5 and 6).
+
+    Beyond ``A``/``B`` the module takes two control buses of width k-1:
+
+    * ``EN`` — the paper's error-control select, gating each sub-adder's
+      detector;
+    * ``CORR`` — the correction state (driven by a register in the real
+      design, by the multi-cycle harness here): when bit ``i-1`` is set,
+      sub-adder ``i``'s prediction inputs are routed through the OR gates
+      with their LSBs forced to 1, which regenerates the missed carry.
+
+    Outputs: ``S`` (N+1 bits) computed under the current correction state,
+    and ``ERR`` — the detector flags ``cp_i & co_{i-1} & EN``.  Because the
+    detector sees the *muxed* inputs, a corrected sub-adder's propagate
+    term collapses and its flag self-clears, so iterating "correct a
+    flagged sub-adder, re-evaluate" terminates.
+
+    See :class:`repro.rtl.correction_harness.MultiCycleCorrector` for the
+    cycle-accurate wrapper.
+    """
+    from repro.core.gear import GeArConfig  # local import to avoid a cycle
+
+    cfg = GeArConfig(n, r, p, allow_partial=allow_partial)
+    if cfg.k < 2:
+        raise ValueError("correction needs at least one speculative sub-adder")
+    nl = Netlist(name)
+    a = nl.add_input_bus("A", n)
+    b = nl.add_input_bus("B", n)
+    en = nl.add_input_bus("EN", cfg.k - 1)
+    corr = nl.add_input_bus("CORR", cfg.k - 1)
+
+    result: List[str] = [""] * n
+    carry_outs: List[str] = []
+    flags: List[str] = []
+
+    for i, window in enumerate(cfg.windows()):
+        lo, hi = window.low, window.high
+        if i == 0:
+            sums, cout = _ripple_chain(nl, a[lo : hi + 1], b[lo : hi + 1])
+            result[lo : hi + 1] = sums
+            carry_outs.append(cout)
+            continue
+
+        pred = window.prediction_bits
+        select = corr[i - 1]
+        a_in: List[str] = []
+        b_in: List[str] = []
+        for j in range(lo, hi + 1):
+            if j == lo:
+                # LSB of the prediction field: forced to 1 when correcting.
+                forced = nl.const(1)
+                a_in.append(nl.mux(select, a[j], forced))
+                b_in.append(nl.mux(select, b[j], forced))
+            elif j < lo + pred:
+                orj = nl.or_(a[j], b[j])
+                a_in.append(nl.mux(select, a[j], orj))
+                b_in.append(nl.mux(select, b[j], orj))
+            else:
+                a_in.append(a[j])
+                b_in.append(b[j])
+
+        sums, cout = _ripple_chain(nl, a_in, b_in)
+        result[window.result_low : window.result_high + 1] = sums[pred:]
+        # Detector on the muxed inputs: self-clears once corrected.
+        prop_bits = [nl.xor(a_in[j], b_in[j]) for j in range(pred)]
+        cp = _tree(nl, Op.AND, prop_bits)
+        flags.append(nl.and_(cp, carry_outs[i - 1], en[i - 1]))
+        carry_outs.append(cout)
+
+    nl.set_output_bus("S", result + [carry_outs[-1]])
+    nl.set_output_bus("ERR", flags)
+    return nl
+
+
+def build_loa(n: int, approx_bits: int, name: str = "loa") -> Netlist:
+    """Lower-part OR Adder [12]: OR gates for the low bits, exact RCA above.
+
+    The carry into the exact part is ``a & b`` of the top approximate bit.
+    """
+    check_pos_int("n", n)
+    if not 0 <= approx_bits < n:
+        raise ValueError(f"approx_bits must be in [0, {n}), got {approx_bits}")
+    nl = Netlist(name)
+    a = nl.add_input_bus("A", n)
+    b = nl.add_input_bus("B", n)
+    low = [nl.or_(a[i], b[i]) for i in range(approx_bits)]
+    cin = nl.and_(a[approx_bits - 1], b[approx_bits - 1]) if approx_bits else None
+    high, cout = _ripple_chain(nl, a[approx_bits:], b[approx_bits:], cin=cin)
+    nl.set_output_bus("S", low + high + [cout])
+    return nl

@@ -1,0 +1,175 @@
+"""Stuck-at fault injection and detector-coverage analysis.
+
+§3.3 puts error-detection hardware (the cp·co AND gates) on every
+speculative sub-adder.  Beyond catching *speculation* misses, such
+detectors see some *hardware* faults too; this module quantifies that with
+classic stuck-at fault simulation:
+
+* :func:`enumerate_faults` — the stuck-at-0/1 fault list over a netlist's
+  gate outputs,
+* :func:`inject_fault` — a netlist copy with one net tied to a constant,
+* :func:`fault_simulation` — for every fault, does any output differ on a
+  vector set (detectability), and does the ``ERR`` bus flag it
+  (§3.3 observability)?
+
+This doubles as a manufacturing-test utility for the emitted RTL: the
+undetectable faults of an adder netlist are exactly its redundant logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rtl.gates import Op
+from repro.rtl.netlist import Netlist
+from repro.rtl.sim import simulate
+from repro.utils.validation import check_pos_int
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single stuck-at fault on a gate output net."""
+
+    net: str
+    stuck_at: int
+
+    def __post_init__(self) -> None:
+        if self.stuck_at not in (0, 1):
+            raise ValueError(f"stuck_at must be 0 or 1, got {self.stuck_at}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.net}/SA{self.stuck_at}"
+
+
+def enumerate_faults(netlist: Netlist, include_inputs: bool = True) -> List[Fault]:
+    """All stuck-at-0/1 faults on logic-gate outputs (and optionally inputs)."""
+    faults: List[Fault] = []
+    for gate in netlist.gates.values():
+        if gate.op in (Op.CONST0, Op.CONST1):
+            continue
+        if gate.op is Op.INPUT and not include_inputs:
+            continue
+        faults.append(Fault(gate.output, 0))
+        faults.append(Fault(gate.output, 1))
+    return faults
+
+
+def inject_fault(netlist: Netlist, fault: Fault) -> Netlist:
+    """A copy of ``netlist`` with the fault's net replaced by a constant.
+
+    The faulty gate itself is kept (its output simply goes nowhere), which
+    mirrors how a physical stuck-at defect leaves upstream logic intact.
+    """
+    if fault.net not in netlist.gates:
+        raise KeyError(f"no net {fault.net!r} in netlist")
+    faulty = Netlist(netlist.name)
+    for bus, width in netlist.input_buses.items():
+        faulty.add_input_bus(bus, width)
+
+    fault_is_input = netlist.gates[fault.net].op is Op.INPUT
+    # The substitute net every downstream reference of fault.net sees.
+    sa_net = f"__sa_{fault.stuck_at}"
+    if sa_net not in faulty.gates:
+        faulty.add_gate(Op.CONST1 if fault.stuck_at else Op.CONST0, (),
+                        output=sa_net)
+
+    def mapped(net: str) -> str:
+        return sa_net if net == fault.net else net
+
+    for gate in netlist.topological_order():
+        if gate.op is Op.INPUT:
+            continue
+        if gate.output == fault.net:
+            # Keep the defective gate's upstream cone; its output is
+            # renamed so the constant takes over its consumers.
+            faulty.add_gate(gate.op, tuple(mapped(n) for n in gate.inputs),
+                            output=f"{fault.net}__prefault", group=gate.group)
+            continue
+        faulty.add_gate(gate.op, tuple(mapped(n) for n in gate.inputs),
+                        output=gate.output, group=gate.group)
+    if fault_is_input:
+        # Nothing to rename: the input gate exists; consumers were mapped.
+        pass
+
+    for bus, nets in netlist.output_buses.items():
+        faulty.set_output_bus(bus, [mapped(net) for net in nets])
+    return faulty
+
+
+@dataclass
+class FaultReport:
+    """Aggregate fault-simulation outcome."""
+
+    total: int
+    detected_any_output: int
+    flagged_by_err: int
+    undetected: List[Fault]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of faults visible at any output."""
+        return self.detected_any_output / self.total if self.total else 0.0
+
+    @property
+    def err_observability(self) -> float:
+        """Fraction of detected faults that also raise an ERR flag."""
+        if self.detected_any_output == 0:
+            return 0.0
+        return self.flagged_by_err / self.detected_any_output
+
+
+def _outputs(netlist: Netlist, values) -> Dict[str, np.ndarray]:
+    packed = {}
+    for bus, nets in netlist.output_buses.items():
+        word = np.zeros(values[nets[0]].shape, dtype=np.int64)
+        for i, net in enumerate(nets):
+            word |= values[net].astype(np.int64) << i
+        packed[bus] = word
+    return packed
+
+
+def fault_simulation(
+    netlist: Netlist,
+    vectors: int = 256,
+    seed: int = 7,
+    faults: Optional[Sequence[Fault]] = None,
+) -> FaultReport:
+    """Simulate every fault against seeded random vectors.
+
+    A fault counts as *detected* when any output bus differs from the
+    golden netlist on some vector, and as *ERR-flagged* when the ``ERR``
+    bus (if present) differs — i.e. the §3.3 detector reacts to the defect.
+    """
+    check_pos_int("vectors", vectors)
+    rng = np.random.default_rng(seed)
+    stimulus = {
+        bus: rng.integers(0, 1 << width, size=vectors, dtype=np.int64)
+        for bus, width in netlist.input_buses.items()
+    }
+    golden = _outputs(netlist, simulate(netlist, stimulus))
+    fault_list = list(faults) if faults is not None else enumerate_faults(netlist)
+
+    detected = 0
+    flagged = 0
+    undetected: List[Fault] = []
+    for fault in fault_list:
+        faulty = inject_fault(netlist, fault)
+        outputs = _outputs(faulty, simulate(faulty, stimulus))
+        differs = any(
+            np.any(outputs[bus] != golden[bus]) for bus in golden
+        )
+        if differs:
+            detected += 1
+            if "ERR" in golden and np.any(outputs["ERR"] != golden["ERR"]):
+                flagged += 1
+        else:
+            undetected.append(fault)
+    return FaultReport(
+        total=len(fault_list),
+        detected_any_output=detected,
+        flagged_by_err=flagged,
+        undetected=undetected,
+    )

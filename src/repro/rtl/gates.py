@@ -1,0 +1,86 @@
+"""Gate primitives for the netlist substrate.
+
+Only simple, synthesis-friendly primitives are modelled; everything the
+adder generators need (full adders, carry-lookahead blocks, correction
+muxes) is built from these in :mod:`repro.rtl.builders`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+class Op(enum.Enum):
+    """Primitive gate operations."""
+
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NAND = "nand"
+    NOR = "nor"
+    XNOR = "xnor"
+    MUX = "mux"  # inputs: (sel, d0, d1) -> d1 if sel else d0
+
+
+#: Required input count per op; ``None`` means variadic (>= 2).
+GATE_ARITY: Dict[Op, Optional[int]] = {
+    Op.INPUT: 0,
+    Op.CONST0: 0,
+    Op.CONST1: 0,
+    Op.BUF: 1,
+    Op.NOT: 1,
+    Op.AND: None,
+    Op.OR: None,
+    Op.XOR: None,
+    Op.NAND: None,
+    Op.NOR: None,
+    Op.XNOR: None,
+    Op.MUX: 3,
+}
+
+#: Ops that evaluate as an associative reduction.
+VARIADIC_OPS = frozenset(op for op, arity in GATE_ARITY.items() if arity is None)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single gate driving one net.
+
+    Attributes:
+        output: name of the net this gate drives (unique per netlist).
+        op: primitive operation.
+        inputs: driven-net names, in operand order (for MUX: sel, d0, d1).
+        group: free-form tag used by delay models to distinguish structures
+            (e.g. ``"carry"`` for dedicated FPGA carry-chain logic).
+    """
+
+    output: str
+    op: Op
+    inputs: Tuple[str, ...] = field(default=())
+    group: str = ""
+
+    def __post_init__(self) -> None:
+        arity = GATE_ARITY[self.op]
+        if arity is None:
+            if len(self.inputs) < 2:
+                raise ValueError(
+                    f"{self.op.value} gate '{self.output}' needs >= 2 inputs, "
+                    f"got {len(self.inputs)}"
+                )
+        elif len(self.inputs) != arity:
+            raise ValueError(
+                f"{self.op.value} gate '{self.output}' needs exactly {arity} "
+                f"inputs, got {len(self.inputs)}"
+            )
+
+    @property
+    def is_source(self) -> bool:
+        """True for gates with no inputs (primary inputs and constants)."""
+        return GATE_ARITY[self.op] == 0

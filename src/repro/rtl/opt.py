@@ -1,0 +1,86 @@
+"""Netlist optimisation passes: structural hashing and dead-gate removal.
+
+Overlapping speculative adders (ACA-I shifts its window by a single bit)
+recompute the same propagate/generate terms in every window; real synthesis
+shares them.  :func:`strash` performs that sharing — it rewrites the
+netlist so that structurally identical gates (same op, same input nets,
+commutative inputs sorted) collapse to one — and :func:`sweep` removes
+logic that no longer reaches any output.  ``optimize`` chains both and is
+what the FPGA characterisation applies before area estimation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.rtl.gates import Op
+from repro.rtl.netlist import Netlist
+
+#: Ops whose operand order does not matter.
+_COMMUTATIVE = frozenset((Op.AND, Op.OR, Op.XOR, Op.NAND, Op.NOR, Op.XNOR))
+
+
+def strash(netlist: Netlist) -> Netlist:
+    """Structurally hash ``netlist`` into a new netlist with shared gates.
+
+    Primary input nets keep their names; internal nets are renumbered.
+    Output buses are preserved (possibly pointing at shared nets).
+    """
+    result = Netlist(netlist.name)
+    for bus, width in netlist.input_buses.items():
+        result.add_input_bus(bus, width)
+
+    replacement: Dict[str, str] = {}
+    cache: Dict[Tuple, str] = {}
+    for gate in netlist.topological_order():
+        if gate.op is Op.INPUT:
+            replacement[gate.output] = gate.output
+            continue
+        inputs = tuple(replacement[n] for n in gate.inputs)
+        key_inputs = tuple(sorted(inputs)) if gate.op in _COMMUTATIVE else inputs
+        key = (gate.op, key_inputs, gate.group)
+        if key in cache:
+            replacement[gate.output] = cache[key]
+            continue
+        if gate.op is Op.CONST0:
+            new_net = result.const(0)
+        elif gate.op is Op.CONST1:
+            new_net = result.const(1)
+        else:
+            new_net = result.add_gate(gate.op, inputs, group=gate.group)
+        cache[key] = new_net
+        replacement[gate.output] = new_net
+
+    for bus, nets in netlist.output_buses.items():
+        result.set_output_bus(bus, [replacement[n] for n in nets])
+    return result
+
+
+def sweep(netlist: Netlist) -> Netlist:
+    """Remove gates that do not (transitively) drive any output net."""
+    live = set()
+    stack = list(netlist.output_nets())
+    while stack:
+        net = stack.pop()
+        if net in live:
+            continue
+        live.add(net)
+        stack.extend(netlist.gates[net].inputs)
+
+    result = Netlist(netlist.name)
+    for bus, width in netlist.input_buses.items():
+        result.add_input_bus(bus, width)
+    for gate in netlist.topological_order():
+        if gate.op is Op.INPUT or gate.output not in live:
+            continue
+        if gate.output in result.gates:
+            continue
+        result.add_gate(gate.op, gate.inputs, output=gate.output, group=gate.group)
+    for bus, nets in netlist.output_buses.items():
+        result.set_output_bus(bus, nets)
+    return result
+
+
+def optimize(netlist: Netlist) -> Netlist:
+    """Structural hashing followed by dead-gate sweep."""
+    return sweep(strash(netlist))

@@ -1,0 +1,274 @@
+"""Parser for the structural Verilog subset emitted by :mod:`repro.rtl.verilog`.
+
+Grammar (whitespace/comments insignificant)::
+
+    module    := "module" ID "(" portdecl ("," portdecl)* ")" ";"
+                 item* "endmodule"
+    portdecl  := ("input" | "output") "[" NUM ":" NUM "]" ID
+    item      := "wire" ID ("," ID)* ";"
+               | "assign" lvalue "=" expr ";"
+    lvalue    := ID | ID "[" NUM "]"
+    expr      := or ("?" expr ":" expr)?          (right associative)
+    or        := xor ("|" xor)*
+    xor       := and ("^" and)*
+    and       := unary ("&" unary)*
+    unary     := "~" unary | primary
+    primary   := "1'b0" | "1'b1" | lvalue | "(" expr ")"
+
+The result is rebuilt into a :class:`~repro.rtl.netlist.Netlist`, so a
+round-trip ``parse_verilog(to_verilog(nl))`` can be simulated and checked
+for bit-exact equivalence against the original.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.rtl.gates import Op
+from repro.rtl.netlist import Netlist
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<comment>//[^\n]*)"
+    r"|(?P<literal>1'b[01])"
+    r"|(?P<id>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<num>\d+)"
+    r"|(?P<sym>[\[\]():;,=?~&|^])"
+    r")"
+)
+
+_KEYWORDS = frozenset({"module", "endmodule", "input", "output", "wire", "assign"})
+
+
+class VerilogSyntaxError(ValueError):
+    """Raised when the source does not conform to the emitted subset."""
+
+
+class _Tokens:
+    def __init__(self, source: str) -> None:
+        self.items: List[Tuple[str, str]] = []
+        pos = 0
+        while pos < len(source):
+            m = _TOKEN_RE.match(source, pos)
+            if m is None:
+                if source[pos:].strip():
+                    raise VerilogSyntaxError(
+                        f"unexpected character {source[pos]!r} at offset {pos}"
+                    )
+                break
+            pos = m.end()
+            kind = m.lastgroup
+            if kind is None:
+                continue
+            if kind == "comment":
+                # Only structured group tags are kept; prose comments drop.
+                text = m.group(kind)[2:].strip()
+                if text.startswith("group:"):
+                    self.items.append(("group_tag", text[len("group:"):]))
+                continue
+            self.items.append((kind, m.group(kind)))
+        self.index = 0
+
+    def peek(self) -> Tuple[str, str]:
+        if self.index >= len(self.items):
+            return ("eof", "")
+        return self.items[self.index]
+
+    def next(self) -> Tuple[str, str]:
+        tok = self.peek()
+        self.index += 1
+        return tok
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        got_kind, got_value = self.next()
+        if got_kind != kind or (value is not None and got_value != value):
+            raise VerilogSyntaxError(
+                f"expected {value or kind!r}, got {got_value!r} ({got_kind})"
+            )
+        return got_value
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[str]:
+        got_kind, got_value = self.peek()
+        if got_kind == kind and (value is None or got_value == value):
+            self.index += 1
+            return got_value
+        return None
+
+
+class _Parser:
+    """Recursive-descent parser building a netlist on the fly."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = _Tokens(source)
+        self.netlist: Optional[Netlist] = None
+        self.output_widths: Dict[str, int] = {}
+        # assigned[name] = net in the netlist providing that wire's value
+        self.assigned: Dict[str, str] = {}
+        self.declared_wires: set = set()
+
+    # Module structure ---------------------------------------------------
+
+    def parse(self) -> Netlist:
+        self.tokens.expect("id", "module")
+        name = self.tokens.expect("id")
+        self.netlist = Netlist(name)
+        self.tokens.expect("sym", "(")
+        self._parse_portdecl()
+        while self.tokens.accept("sym", ","):
+            self._parse_portdecl()
+        self.tokens.expect("sym", ")")
+        self.tokens.expect("sym", ";")
+
+        output_bits: Dict[str, Dict[int, str]] = {b: {} for b in self.output_widths}
+        while True:
+            kind, value = self.tokens.peek()
+            if kind == "id" and value == "endmodule":
+                self.tokens.next()
+                break
+            if kind == "id" and value == "wire":
+                self.tokens.next()
+                self._parse_wiredecl()
+            elif kind == "id" and value == "assign":
+                self.tokens.next()
+                self._parse_assign(output_bits)
+            else:
+                raise VerilogSyntaxError(f"unexpected token {value!r} in module body")
+
+        for bus, width in self.output_widths.items():
+            missing = [i for i in range(width) if i not in output_bits[bus]]
+            if missing:
+                raise VerilogSyntaxError(f"output {bus} bits never assigned: {missing}")
+            self.netlist.set_output_bus(bus, [output_bits[bus][i] for i in range(width)])
+        if self.tokens.peek()[0] != "eof":
+            raise VerilogSyntaxError("trailing tokens after endmodule")
+        return self.netlist
+
+    def _parse_portdecl(self) -> None:
+        direction = self.tokens.expect("id")
+        if direction not in ("input", "output"):
+            raise VerilogSyntaxError(f"expected port direction, got {direction!r}")
+        self.tokens.expect("sym", "[")
+        high = int(self.tokens.expect("num"))
+        self.tokens.expect("sym", ":")
+        low = int(self.tokens.expect("num"))
+        self.tokens.expect("sym", "]")
+        name = self.tokens.expect("id")
+        if low != 0:
+            raise VerilogSyntaxError(f"port {name}: only [H:0] ranges supported")
+        width = high + 1
+        assert self.netlist is not None
+        if direction == "input":
+            self.netlist.add_input_bus(name, width)
+        else:
+            self.output_widths[name] = width
+
+    def _parse_wiredecl(self) -> None:
+        while True:
+            self.declared_wires.add(self.tokens.expect("id"))
+            if not self.tokens.accept("sym", ","):
+                break
+        self.tokens.expect("sym", ";")
+
+    def _parse_assign(self, output_bits: Dict[str, Dict[int, str]]) -> None:
+        name = self.tokens.expect("id")
+        index: Optional[int] = None
+        if self.tokens.accept("sym", "["):
+            index = int(self.tokens.expect("num"))
+            self.tokens.expect("sym", "]")
+        self.tokens.expect("sym", "=")
+        net = self._parse_expr()
+        self.tokens.expect("sym", ";")
+        group = self.tokens.accept("group_tag")
+        if group is not None:
+            assert self.netlist is not None
+            gate = self.netlist.gates.get(net)
+            if gate is not None and not gate.is_source:
+                self.netlist.gates[net] = dataclasses.replace(gate, group=group)
+
+        if name in self.output_widths:
+            if index is None:
+                raise VerilogSyntaxError(f"output {name} must be assigned per bit")
+            if not 0 <= index < self.output_widths[name]:
+                raise VerilogSyntaxError(f"output bit {name}[{index}] out of range")
+            if index in output_bits[name]:
+                raise VerilogSyntaxError(f"output bit {name}[{index}] assigned twice")
+            output_bits[name][index] = net
+            return
+        if index is not None:
+            raise VerilogSyntaxError(f"cannot assign indexed wire {name}[{index}]")
+        if name in self.assigned:
+            raise VerilogSyntaxError(f"wire {name} assigned twice")
+        self.assigned[name] = net
+
+    # Expressions ---------------------------------------------------------
+
+    def _parse_expr(self) -> str:
+        cond = self._parse_or()
+        if self.tokens.accept("sym", "?"):
+            d1 = self._parse_expr()
+            self.tokens.expect("sym", ":")
+            d0 = self._parse_expr()
+            assert self.netlist is not None
+            return self.netlist.add_gate(Op.MUX, (cond, d0, d1))
+        return cond
+
+    def _parse_binary(self, symbol: str, op: Op, parse_operand) -> str:
+        operands = [parse_operand()]
+        while self.tokens.accept("sym", symbol):
+            operands.append(parse_operand())
+        if len(operands) == 1:
+            return operands[0]
+        assert self.netlist is not None
+        return self.netlist.add_gate(op, tuple(operands))
+
+    def _parse_or(self) -> str:
+        return self._parse_binary("|", Op.OR, self._parse_xor)
+
+    def _parse_xor(self) -> str:
+        return self._parse_binary("^", Op.XOR, self._parse_and)
+
+    def _parse_and(self) -> str:
+        return self._parse_binary("&", Op.AND, self._parse_unary)
+
+    def _parse_unary(self) -> str:
+        if self.tokens.accept("sym", "~"):
+            net = self._parse_unary()
+            assert self.netlist is not None
+            return self.netlist.add_gate(Op.NOT, (net,))
+        return self._parse_primary()
+
+    def _parse_primary(self) -> str:
+        assert self.netlist is not None
+        if self.tokens.accept("sym", "("):
+            net = self._parse_expr()
+            self.tokens.expect("sym", ")")
+            return net
+        kind, value = self.tokens.peek()
+        if kind == "literal":
+            self.tokens.next()
+            return self.netlist.const(1 if value.endswith("1") else 0)
+        name = self.tokens.expect("id")
+        if name in _KEYWORDS:
+            raise VerilogSyntaxError(f"keyword {name!r} used as identifier")
+        if self.tokens.accept("sym", "["):
+            index = int(self.tokens.expect("num"))
+            self.tokens.expect("sym", "]")
+            if name not in self.netlist.input_buses:
+                raise VerilogSyntaxError(f"indexed reference to non-input bus {name!r}")
+            if not 0 <= index < self.netlist.input_buses[name]:
+                raise VerilogSyntaxError(f"input bit {name}[{index}] out of range")
+            return f"{name}[{index}]"
+        if name in self.assigned:
+            return self.assigned[name]
+        raise VerilogSyntaxError(f"reference to unassigned wire {name!r}")
+
+
+def parse_verilog(source: str) -> Netlist:
+    """Parse a module in the emitted structural subset back to a netlist.
+
+    Wires must be assigned before use (the emitter writes assigns in
+    topological order, so this always holds for round-trips).
+    """
+    return _Parser(source).parse()

@@ -1,0 +1,25 @@
+"""FPGA resource characterisation and application-level execution timing."""
+
+from repro.timing.fpga import (
+    AdderCharacterization,
+    FPGA_DELAY_MODEL,
+    characterize,
+    characterize_netlist,
+)
+from repro.timing.latency import (
+    FULL_HD_PIXELS,
+    ExecutionTiming,
+    correction_cycle_counts,
+    execution_timings,
+)
+
+__all__ = [
+    "AdderCharacterization",
+    "FPGA_DELAY_MODEL",
+    "characterize",
+    "characterize_netlist",
+    "FULL_HD_PIXELS",
+    "ExecutionTiming",
+    "correction_cycle_counts",
+    "execution_timings",
+]

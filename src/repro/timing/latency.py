@@ -1,0 +1,94 @@
+"""Application execution-time model (Table IV, Fig. 9).
+
+The paper predicts per-application runtimes from three quantities alone:
+the adder's path delay, its error probability, and its sub-adder count —
+no application simulation needed (that is the §4.4 selling point of the
+error model).  With ``n_ops`` additions (one per full-HD pixel):
+
+* approximate time = n_ops · delay                        (no recovery)
+* best time        = approximate · (1 + p_err · 1)        (one bad sub-adder)
+* average time     = approximate · (1 + p_err · k/2)      (half of them)
+* worst time       = approximate · (1 + p_err · (k-1))    (all of them)
+
+where each erroneous addition pays one extra cycle per corrected
+sub-adder (§3.3).  These formulas reproduce every entry of Table IV from
+its delay and probability columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.utils.validation import check_pos_int, check_prob
+
+#: Additions per frame in the paper's applications: one per full-HD pixel.
+FULL_HD_PIXELS = 1920 * 1080
+
+
+def correction_cycle_counts(k: int) -> Dict[str, float]:
+    """Extra correction cycles per erroneous addition for best/avg/worst.
+
+    Best case assumes a single erring sub-adder (1 cycle), worst assumes
+    all k-1 speculative sub-adders err (k-1 cycles), average assumes half
+    of the k sub-adders (k/2 cycles) — the paper's three scenarios.
+    """
+    check_pos_int("k", k)
+    return {"best": 1.0, "average": k / 2.0, "worst": float(k - 1)}
+
+
+@dataclass(frozen=True)
+class ExecutionTiming:
+    """Predicted execution times, in seconds, for one adder configuration."""
+
+    name: str
+    delay_ns: float
+    error_probability: float
+    k: int
+    n_ops: int
+
+    @property
+    def approximate_s(self) -> float:
+        """Runtime without error recovery."""
+        return self.n_ops * self.delay_ns * 1e-9
+
+    def corrected_s(self, scenario: str) -> float:
+        """Runtime with error recovery under a best/average/worst scenario."""
+        cycles = correction_cycle_counts(self.k)
+        if scenario not in cycles:
+            raise KeyError(f"scenario must be one of {sorted(cycles)}, got {scenario!r}")
+        return self.approximate_s * (1.0 + self.error_probability * cycles[scenario])
+
+    @property
+    def best_s(self) -> float:
+        return self.corrected_s("best")
+
+    @property
+    def average_s(self) -> float:
+        return self.corrected_s("average")
+
+    @property
+    def worst_s(self) -> float:
+        return self.corrected_s("worst")
+
+
+def execution_timings(
+    name: str,
+    delay_ns: float,
+    error_probability: float,
+    k: int,
+    n_ops: int = FULL_HD_PIXELS,
+) -> ExecutionTiming:
+    """Build an :class:`ExecutionTiming` with validated inputs."""
+    if delay_ns <= 0:
+        raise ValueError(f"delay_ns must be positive, got {delay_ns}")
+    check_prob("error_probability", error_probability)
+    check_pos_int("k", k)
+    check_pos_int("n_ops", n_ops)
+    return ExecutionTiming(
+        name=name,
+        delay_ns=delay_ns,
+        error_probability=error_probability,
+        k=k,
+        n_ops=n_ops,
+    )

@@ -1,0 +1,57 @@
+"""Shared low-level utilities: bit vectors, operand distributions, validation."""
+
+from repro.utils.bitvec import (
+    bit_length_of,
+    bits_of,
+    bit_slice,
+    carry_chain_lengths,
+    carry_into,
+    concat_fields,
+    from_bits,
+    generate_propagate_kill,
+    longest_carry_chain,
+    mask,
+    popcount,
+    to_signed,
+    to_unsigned,
+)
+from repro.utils.distributions import (
+    OperandDistribution,
+    UniformOperands,
+    GaussianOperands,
+    ExponentialOperands,
+    SparseOperands,
+    ImagePatchOperands,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_nonneg_int,
+    check_pos_int,
+    check_prob,
+)
+
+__all__ = [
+    "bit_length_of",
+    "bits_of",
+    "bit_slice",
+    "carry_chain_lengths",
+    "carry_into",
+    "concat_fields",
+    "from_bits",
+    "generate_propagate_kill",
+    "longest_carry_chain",
+    "mask",
+    "popcount",
+    "to_signed",
+    "to_unsigned",
+    "OperandDistribution",
+    "UniformOperands",
+    "GaussianOperands",
+    "ExponentialOperands",
+    "SparseOperands",
+    "ImagePatchOperands",
+    "check_in_range",
+    "check_nonneg_int",
+    "check_pos_int",
+    "check_prob",
+]

@@ -1,0 +1,37 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# A slimmer default profile keeps the full suite fast while still giving
+# each property meaningful coverage; CI can export HYPOTHESIS_PROFILE=thorough.
+settings.register_profile(
+    "default",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=400,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("default")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests that sample operands."""
+    return np.random.default_rng(20150607)
+
+
+def random_pairs(width: int, count: int, seed: int = 1):
+    """Uniform operand pairs as int64 arrays."""
+    gen = np.random.default_rng(seed)
+    a = gen.integers(0, 1 << width, size=count, dtype=np.int64)
+    b = gen.integers(0, 1 << width, size=count, dtype=np.int64)
+    return a, b

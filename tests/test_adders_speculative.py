@@ -1,0 +1,83 @@
+"""Unit tests for ACA-I, ACA-II, ETAII and their GeAr equivalence (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.adders import (
+    AccuracyConfigurableAdder,
+    AlmostCorrectAdder,
+    ErrorTolerantAdderII,
+)
+from repro.core.gear import GeArAdder, GeArConfig
+from tests.conftest import random_pairs
+
+
+class TestAcaI:
+    def test_equals_gear_r1(self):
+        # §3.1: ACA-I == GeAr(N, 1, L-1).
+        aca = AlmostCorrectAdder(16, 4)
+        gear = GeArAdder(GeArConfig(16, 1, 3))
+        a, b = random_pairs(16, 2000, seed=1)
+        np.testing.assert_array_equal(aca.add(a, b), gear.add(a, b))
+
+    def test_sub_adder_count(self):
+        # One-bit shift: N - L + 1 sub-adders.
+        aca = AlmostCorrectAdder(16, 4)
+        assert len(aca.windows) == 16 - 4 + 1
+
+    def test_full_length_window_exact(self):
+        aca = AlmostCorrectAdder(8, 8)
+        a, b = random_pairs(8, 500, seed=2)
+        np.testing.assert_array_equal(aca.add(a, b), a + b)
+
+    def test_error_probability_positive(self):
+        assert 0 < AlmostCorrectAdder(16, 4).error_probability() < 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AlmostCorrectAdder(16, 1)
+        with pytest.raises(ValueError):
+            AlmostCorrectAdder(8, 9)
+
+
+class TestAcaIIAndEtaII:
+    def test_both_equal_gear_half_half(self):
+        gear = GeArAdder(GeArConfig(16, 4, 4))
+        aca2 = AccuracyConfigurableAdder(16, 8)
+        etaii = ErrorTolerantAdderII(16, 8)
+        a, b = random_pairs(16, 2000, seed=3)
+        expected = np.asarray(gear.add(a, b))
+        np.testing.assert_array_equal(aca2.add(a, b), expected)
+        np.testing.assert_array_equal(etaii.add(a, b), expected)
+
+    def test_same_error_probability(self):
+        assert AccuracyConfigurableAdder(16, 8).error_probability() == \
+            ErrorTolerantAdderII(16, 8).error_probability()
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            AccuracyConfigurableAdder(16, 7)
+        with pytest.raises(ValueError):
+            ErrorTolerantAdderII(16, 7)
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            AccuracyConfigurableAdder(8, 10)
+
+    def test_longer_sub_adder_fewer_errors(self):
+        a, b = random_pairs(16, 20000, seed=4)
+        errs = []
+        for l in (4, 8, 12):
+            adder = AccuracyConfigurableAdder(16, l, allow_partial=True)
+            errs.append(np.mean(np.asarray(adder.add(a, b)) != a + b))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_carry_chain_bounded_by_l(self):
+        # ETAII's claim: max carry propagation = sub-adder length; a carry
+        # generated exactly L bits below a result bit is invisible.
+        adder = ErrorTolerantAdderII(16, 8)
+        # generate at bit 0, propagate everywhere above
+        a = 0xFFFF
+        b = 0x0001
+        approx = adder.add(a, b)
+        assert approx != a + b  # long chain must break somewhere

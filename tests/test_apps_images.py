@@ -1,0 +1,58 @@
+"""Unit tests for synthetic image generation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.images import (
+    checkerboard_image,
+    gradient_image,
+    moving_block_pair,
+    natural_image,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("fn", [gradient_image, natural_image])
+    def test_shape_and_range(self, fn):
+        img = fn(32, 48)
+        assert img.shape == (32, 48)
+        assert img.min() >= 0 and img.max() <= 255
+        assert np.issubdtype(img.dtype, np.integer)
+
+    def test_determinism(self):
+        np.testing.assert_array_equal(
+            natural_image(16, 16, seed=5), natural_image(16, 16, seed=5)
+        )
+        assert not np.array_equal(
+            natural_image(16, 16, seed=5), natural_image(16, 16, seed=6)
+        )
+
+    def test_natural_image_is_spatially_correlated(self):
+        img = natural_image(64, 64, seed=1).astype(np.float64)
+        horizontal_diff = np.abs(np.diff(img, axis=1)).mean()
+        rng = np.random.default_rng(0)
+        white = rng.uniform(0, 255, size=(64, 64))
+        white_diff = np.abs(np.diff(white, axis=1)).mean()
+        assert horizontal_diff < white_diff / 2
+
+    def test_natural_image_uses_full_contrast(self):
+        img = natural_image(64, 64, seed=2)
+        assert img.max() - img.min() > 200
+
+    def test_checkerboard_tiles(self):
+        img = checkerboard_image(16, 16, tile=4, low=10, high=200)
+        assert set(np.unique(img)) == {10, 200}
+        assert img[0, 0] == 10
+        assert img[0, 4] == 200
+        assert img[4, 0] == 200
+
+    def test_checkerboard_validation(self):
+        with pytest.raises(ValueError):
+            checkerboard_image(8, 8, low=200, high=100)
+
+    def test_moving_block_pair_shift(self):
+        ref, moved = moving_block_pair(32, 32, shift=(3, 5), seed=7)
+        assert ref.shape == moved.shape == (32, 32)
+        # The shifted frame must correlate best at the known displacement.
+        exact_shift = np.roll(ref, (3, 5), axis=(0, 1))
+        assert np.abs(moved - exact_shift).mean() < 3.0

@@ -1,0 +1,72 @@
+"""Unit tests for image-quality metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.images import natural_image
+from repro.apps.quality import (
+    QualityReport,
+    compare_images,
+    global_ssim,
+    mean_absolute_error,
+    psnr,
+)
+
+
+class TestPsnr:
+    def test_identical_is_infinite(self):
+        img = natural_image(8, 8, seed=1)
+        assert math.isinf(psnr(img, img))
+
+    def test_known_value(self):
+        ref = np.zeros((10, 10))
+        cand = np.full((10, 10), 16.0)
+        # MSE = 256 -> PSNR = 10·log10(255²/256) ≈ 24.05 dB
+        assert psnr(ref, cand) == pytest.approx(24.0487, abs=1e-3)
+
+    def test_more_noise_lower_psnr(self):
+        img = natural_image(16, 16, seed=2).astype(np.int64)
+        small = np.clip(img + 1, 0, 255)
+        large = np.clip(img + 10, 0, 255)
+        assert psnr(img, small) > psnr(img, large)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestSsim:
+    def test_identical_is_one(self):
+        img = natural_image(16, 16, seed=3)
+        assert global_ssim(img, img) == pytest.approx(1.0)
+
+    def test_degrades_with_noise(self):
+        img = natural_image(32, 32, seed=4).astype(np.float64)
+        rng = np.random.default_rng(0)
+        noisy = img + rng.normal(0, 30, img.shape)
+        assert global_ssim(img, noisy) < 0.95
+
+    def test_bounded_above_by_one(self):
+        a = natural_image(16, 16, seed=5)
+        b = natural_image(16, 16, seed=6)
+        assert global_ssim(a, b) <= 1.0
+
+
+class TestCompareImages:
+    def test_report_fields(self):
+        ref = np.array([[10, 20], [30, 40]])
+        cand = np.array([[10, 18], [30, 40]])
+        report = compare_images(ref, cand)
+        assert isinstance(report, QualityReport)
+        assert report.mae == pytest.approx(0.5)
+        assert report.max_abs_error == 2
+        assert report.exact_fraction == pytest.approx(0.75)
+
+    def test_mae_helper(self):
+        assert mean_absolute_error(np.array([1.0, 2.0]), np.array([2.0, 4.0])) == 1.5
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            compare_images(np.zeros((2, 2)), np.zeros((2, 3)))

@@ -1,0 +1,169 @@
+"""Unit tests for repro.utils.bitvec."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitvec import (
+    bit_length_of,
+    bit_slice,
+    bits_of,
+    carry_chain_lengths,
+    carry_into,
+    concat_fields,
+    from_bits,
+    generate_propagate_kill,
+    longest_carry_chain,
+    mask,
+    popcount,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 1
+        assert mask(4) == 0xF
+        assert mask(16) == 0xFFFF
+
+    def test_large_width(self):
+        assert mask(128) == (1 << 128) - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBitsRoundtrip:
+    @given(st.integers(min_value=0, max_value=(1 << 24) - 1))
+    def test_roundtrip(self, value):
+        assert from_bits(bits_of(value, 24)) == value
+
+    def test_lsb_first(self):
+        assert bits_of(0b0110, 4) == [0, 1, 1, 0]
+
+    def test_array_shape(self):
+        arr = np.array([1, 2, 3], dtype=np.int64)
+        out = bits_of(arr, 4)
+        assert out.shape == (3, 4)
+        assert out[1].tolist() == [0, 1, 0, 0]
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            bits_of(3, 0)
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            from_bits([0, 2, 1])
+
+
+class TestBitSlice:
+    def test_verilog_style(self):
+        assert bit_slice(0b110101, 3, 1) == 0b010
+
+    def test_single_bit(self):
+        assert bit_slice(0b100, 2, 2) == 1
+
+    def test_array(self):
+        arr = np.array([0b1100, 0b0011], dtype=np.int64)
+        np.testing.assert_array_equal(bit_slice(arr, 3, 2), [0b11, 0b00])
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            bit_slice(1, 0, 1)
+
+
+class TestConcatFields:
+    def test_basic(self):
+        assert concat_fields([(0b11, 2), (0b01, 2)]) == 0b0111
+
+    def test_masking(self):
+        # Stray high bits must be masked before packing.
+        assert concat_fields([(0xFF, 4), (0x1, 1)]) == 0b11111
+
+    @given(st.integers(0, 255), st.integers(0, 15))
+    def test_split_rejoin(self, low, high):
+        packed = concat_fields([(low, 8), (high, 4)])
+        assert packed & 0xFF == low
+        assert packed >> 8 == high
+
+
+class TestPopcount:
+    @given(st.integers(min_value=0, max_value=(1 << 30) - 1))
+    def test_matches_bin(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+    def test_array(self):
+        arr = np.array([0, 1, 3, 255], dtype=np.int64)
+        np.testing.assert_array_equal(popcount(arr), [0, 1, 2, 8])
+
+
+class TestSignedness:
+    @given(st.integers(min_value=-128, max_value=127))
+    def test_roundtrip_8bit(self, value):
+        assert to_signed(to_unsigned(value, 8), 8) == value
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            to_unsigned(128, 8)
+
+    def test_bit_length(self):
+        assert bit_length_of(0) == 1
+        assert bit_length_of(255) == 8
+        with pytest.raises(ValueError):
+            bit_length_of(-1)
+
+
+class TestCarryAnalysis:
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF), st.integers(1, 16))
+    def test_carry_into_matches_arithmetic(self, a, b, pos):
+        expected = ((a & mask(pos)) + (b & mask(pos))) >> pos
+        assert carry_into(a, b, pos) == (expected & 1)
+
+    def test_carry_into_position_zero_returns_cin(self):
+        assert carry_into(5, 3, 0, carry_in=1) == 1
+        assert carry_into(5, 3, 0) == 0
+
+    def test_carry_into_array(self):
+        a = np.array([0xFF, 0x00], dtype=np.int64)
+        b = np.array([0x01, 0x01], dtype=np.int64)
+        np.testing.assert_array_equal(carry_into(a, b, 8), [1, 0])
+
+    def test_gpk_definitions(self):
+        g, p, k = generate_propagate_kill(0b1100, 0b1010)
+        assert g == 0b1000
+        assert p == 0b0110
+        assert k & 0xF == 0b0001
+
+    def test_longest_chain_simple(self):
+        # generate at bit 0, propagate through bits 1..3 -> chain of 4
+        assert longest_carry_chain(0b0001, 0b1111, 4) == 4
+
+    def test_longest_chain_zero(self):
+        assert longest_carry_chain(0, 0, 8) == 0
+
+    def test_longest_chain_array_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 256, size=50, dtype=np.int64)
+        b = rng.integers(0, 256, size=50, dtype=np.int64)
+        vec = longest_carry_chain(a, b, 8)
+        for i in range(50):
+            assert vec[i] == longest_carry_chain(int(a[i]), int(b[i]), 8)
+
+    def test_chain_lengths_partition(self):
+        chains = carry_chain_lengths(0b0101, 0b0101, 4)
+        assert chains == [1, 1]
+
+    def test_chain_lengths_with_carry_in(self):
+        # carry-in propagating through two bits
+        assert carry_chain_lengths(0b11, 0b00, 2, carry_in=1) == [3]
+
+    @given(st.integers(0, 0xFFF), st.integers(0, 0xFFF))
+    def test_longest_equals_max_of_chain_lengths(self, a, b):
+        chains = carry_chain_lengths(a, b, 12)
+        assert longest_carry_chain(a, b, 12) == (max(chains) if chains else 0)

@@ -1,0 +1,110 @@
+"""Unit tests for carry-chain statistics (the §1 motivation, quantified)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.carrychain import (
+    chain_coverage_table,
+    expected_longest_chain,
+    longest_chain_distribution,
+    prob_longest_chain_at_most,
+    required_chain_for_coverage,
+)
+from repro.utils.bitvec import longest_carry_chain
+
+
+class TestProbLongestChain:
+    def test_limit_at_least_n_is_certain(self):
+        assert prob_longest_chain_at_most(16, 16) == 1.0
+        assert prob_longest_chain_at_most(16, 20) == 1.0
+
+    def test_limit_zero_closed_form(self):
+        # No generate anywhere: every bit kills or propagates chain-free.
+        assert prob_longest_chain_at_most(8, 0) == pytest.approx(0.75 ** 8)
+
+    def test_single_bit(self):
+        assert prob_longest_chain_at_most(1, 0) == pytest.approx(0.75)
+        assert prob_longest_chain_at_most(1, 1) == 1.0
+
+    def test_monotone_in_limit(self):
+        probs = [prob_longest_chain_at_most(32, l) for l in range(33)]
+        assert probs == sorted(probs)
+        assert probs[-1] == 1.0
+
+    def test_matches_exhaustive_enumeration(self):
+        # Ground truth over all 8-bit operand pairs.
+        n = 8
+        vals = np.arange(1 << n, dtype=np.int64)
+        a = np.repeat(vals, 1 << n)
+        b = np.tile(vals, 1 << n)
+        chains = longest_carry_chain(a, b, n)
+        for limit in range(n + 1):
+            measured = float(np.mean(chains <= limit))
+            assert prob_longest_chain_at_most(n, limit) == pytest.approx(
+                measured, abs=1e-12
+            ), limit
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            prob_longest_chain_at_most(8, -1)
+        with pytest.raises((ValueError, TypeError)):
+            prob_longest_chain_at_most(0, 1)
+
+
+class TestDistribution:
+    def test_pmf_sums_to_one(self):
+        pmf = longest_chain_distribution(24)
+        assert sum(pmf) == pytest.approx(1.0)
+        assert all(p >= -1e-15 for p in pmf)
+
+    def test_expected_value_matches_simulation(self):
+        n = 16
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 1 << n, size=200_000, dtype=np.int64)
+        b = rng.integers(0, 1 << n, size=200_000, dtype=np.int64)
+        measured = float(np.mean(longest_carry_chain(a, b, n)))
+        assert expected_longest_chain(n) == pytest.approx(measured, abs=0.02)
+
+    def test_expected_grows_logarithmically(self):
+        # Burks-Goldstine-von-Neumann: E ~ log2(N).
+        e16 = expected_longest_chain(16)
+        e64 = expected_longest_chain(64)
+        e256 = expected_longest_chain(256)
+        assert 1.2 < e64 - e16 < 2.8
+        assert 1.2 < e256 - e64 < 2.8
+
+
+class TestDesignQueries:
+    def test_full_chain_is_very_rare(self):
+        # The paper's §1 claim for 64-bit additions.
+        p_full = 1.0 - prob_longest_chain_at_most(64, 63)
+        assert p_full < 1e-17
+
+    def test_required_chain_for_coverage(self):
+        l = required_chain_for_coverage(64, 0.01)
+        assert 8 <= l <= 16
+        # Tighter tolerance, longer window.
+        assert required_chain_for_coverage(64, 1e-4) > l
+
+    def test_required_chain_validates(self):
+        with pytest.raises(ValueError):
+            required_chain_for_coverage(64, 0.0)
+
+    def test_coverage_table(self):
+        table = chain_coverage_table(32, [4, 8, 16])
+        assert table[4] > table[8] > table[16]
+
+    def test_coverage_brackets_adder_accuracy(self):
+        # An adder errs iff a carry chain fully covers some prediction span
+        # with its generate below it: that needs a chain of at least P+1
+        # bits, and any chain longer than L = R+P is guaranteed (modulo
+        # edge effects) to cover one.  So the error probability must sit
+        # between those two chain-length tail probabilities.
+        from repro.core.error_model import error_probability
+        from repro.core.gear import GeArConfig
+
+        cfg = GeArConfig(16, 4, 4)
+        err = error_probability(cfg)
+        upper = 1.0 - prob_longest_chain_at_most(16, cfg.p)
+        lower = 1.0 - prob_longest_chain_at_most(16, cfg.L)
+        assert lower * 0.5 < err < upper

@@ -1,0 +1,93 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_args(self):
+        args = build_parser().parse_args(["info", "12", "4", "4"])
+        assert (args.n, args.r, args.p) == (12, 4, 4)
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "12", "4", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "k=2" in out
+        assert "0.02929688" in out
+        assert "sub-adder 2" in out
+
+    def test_info_partial_config(self, capsys):
+        assert main(["info", "20", "3", "7"]) == 0
+        assert "k=5" in capsys.readouterr().out
+
+    def test_sweep_no_hardware(self, capsys):
+        assert main(["sweep", "10", "--r", "2", "--no-hardware"]) == 0
+        out = capsys.readouterr().out
+        assert "design space" in out
+        assert "(2,2)" in out
+
+    def test_verilog(self, capsys):
+        assert main(["verilog", "8", "2", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("module gear_8_2_2")
+        assert "endmodule" in out
+
+    def test_verilog_output_parses_back(self, capsys):
+        from repro.rtl.verilog_parser import parse_verilog
+
+        main(["verilog", "8", "2", "2"])
+        netlist = parse_verilog(capsys.readouterr().out)
+        assert netlist.input_buses == {"A": 8, "B": 8}
+
+    def test_table3_command(self, capsys):
+        assert main(["table3"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_fig1_command(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "configurability" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_motivation_command(self, capsys):
+        assert main(["motivation"]) == 0
+        out = capsys.readouterr().out
+        assert "longest carry chains" in out
+        assert "64" in out
+
+    def test_hierarchical_verilog(self, capsys):
+        assert main(["verilog", "12", "4", "4", "--hierarchical"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("endmodule") == 2
+        from repro.rtl.hierarchy import elaborate_hierarchical
+
+        netlist = elaborate_hierarchical(out)
+        assert netlist.input_buses == {"A": 12, "B": 12}
+
+    def test_export_command(self, capsys, tmp_path):
+        assert main(["export", "--dir", str(tmp_path), "--only",
+                     "fig1", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "table3" in out
+        assert (tmp_path / "fig1_design_space.csv").exists()
+
+    def test_spectrum_command(self, capsys):
+        assert main(["spectrum", "12", "4", "4", "--samples", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "Error spectrum" in out
+        assert "dominant error source: speculative sub-adder 1" in out
+
+    def test_report_quick_command(self, capsys, tmp_path):
+        target = tmp_path / "rep.md"
+        assert main(["report", "--quick", "--out", str(target)]) == 0
+        assert target.exists()
+        assert "# GeAr reproduction report" in target.read_text()

@@ -1,0 +1,79 @@
+"""Unit tests for Wilson confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.confidence import (
+    Interval,
+    estimate_consistent_with,
+    required_samples,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        iv = wilson_interval(30, 1000)
+        assert 0.03 in iv
+
+    def test_zero_successes(self):
+        iv = wilson_interval(0, 100)
+        assert iv.lower == 0.0
+        assert iv.upper > 0.0  # zero observed != zero probability
+
+    def test_all_successes(self):
+        iv = wilson_interval(100, 100)
+        assert iv.upper == 1.0
+        assert iv.lower < 1.0
+
+    def test_narrows_with_samples(self):
+        narrow = wilson_interval(300, 10_000)
+        wide = wilson_interval(3, 100)
+        assert narrow.width < wide.width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, z=0)
+        with pytest.raises((ValueError, TypeError)):
+            wilson_interval(-1, 10)
+
+    def test_coverage_simulation(self):
+        # ~95 % of intervals must contain the true probability.
+        rng = np.random.default_rng(1)
+        p_true = 0.03
+        hits = 0
+        runs = 400
+        for _ in range(runs):
+            successes = rng.binomial(2000, p_true)
+            if p_true in wilson_interval(int(successes), 2000):
+                hits += 1
+        assert hits / runs > 0.90
+
+
+class TestConsistency:
+    def test_table3_protocol_is_consistent(self):
+        # The paper's (12,4,4) row: simulated 2.948 % over 10 000 patterns
+        # vs model 2.9297 % — statistically indistinguishable.
+        assert estimate_consistent_with(0.02948, 10_000, 0.029297)
+
+    def test_detects_genuine_gaps(self):
+        assert not estimate_consistent_with(0.05, 100_000, 0.029297)
+
+
+class TestRequiredSamples:
+    def test_small_probabilities_need_many_samples(self):
+        n_small = required_samples(0.0018, 0.1)
+        n_large = required_samples(0.03, 0.1)
+        assert n_small > n_large
+        assert n_small > 100_000  # why 10k patterns are noisy in Table III
+
+    def test_precision_scaling(self):
+        assert required_samples(0.03, 0.01) > required_samples(0.03, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_samples(0.0, 0.1)
+        with pytest.raises(ValueError):
+            required_samples(0.5, 1.5)

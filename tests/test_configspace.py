@@ -1,0 +1,113 @@
+"""Unit tests for design-space enumeration (Fig. 1 / Fig. 7 machinery)."""
+
+import pytest
+
+from repro.core.configspace import (
+    DesignPoint,
+    count_configurations,
+    enumerate_configs,
+    enumerate_fixed_architecture_points,
+    enumerate_gda_points,
+    enumerate_gear_points,
+)
+
+
+class TestEnumerateConfigs:
+    def test_strict_only_by_default(self):
+        configs = enumerate_configs(16, r=4, allow_partial=False)
+        assert all((16 - c.L) % c.r == 0 for c in configs)
+        assert {c.p for c in configs} == {4, 8}
+
+    def test_partial_expands_space(self):
+        strict = enumerate_configs(16, r=4, allow_partial=False)
+        full = enumerate_configs(16, r=4, allow_partial=True)
+        assert len(full) > len(strict)
+        assert {c.p for c in full} == set(range(1, 12))
+
+    def test_exact_excluded_by_default(self):
+        configs = enumerate_configs(16, r=4, allow_partial=True)
+        assert all(not c.is_exact for c in configs)
+
+    def test_exact_included_on_request(self):
+        configs = enumerate_configs(16, r=4, allow_partial=True, include_exact=True)
+        assert any(c.is_exact for c in configs)
+
+    def test_all_r_values(self):
+        configs = enumerate_configs(8, allow_partial=True)
+        # r = 7 only admits p = 1, i.e. L = 8 = N (exact, excluded).
+        assert {c.r for c in configs} == set(range(1, 7))
+
+    def test_all_configs_constructible(self):
+        for cfg in enumerate_configs(12, allow_partial=True):
+            assert cfg.k >= 2
+            assert cfg.L <= 12
+
+
+class TestGearPoints:
+    def test_full_p_range(self):
+        points = enumerate_gear_points(16, 2)
+        assert [pt.p for pt in points] == list(range(1, 14))
+
+    def test_accuracy_monotone_in_p(self):
+        accs = [pt.accuracy for pt in enumerate_gear_points(16, 2)]
+        assert accs == sorted(accs)
+
+    def test_accuracy_in_range(self):
+        for pt in enumerate_gear_points(16, 4):
+            assert 0.0 <= pt.accuracy <= 100.0
+
+
+class TestGdaPoints:
+    def test_only_multiples_of_r(self):
+        points = enumerate_gda_points(16, 4)
+        assert [pt.p for pt in points] == [4, 8]
+
+    def test_r2_gives_half_of_gear(self):
+        # Fig. 7(a) observation: GDA provides half the configurations.
+        gear = enumerate_gear_points(16, 2)
+        gda = enumerate_gda_points(16, 2)
+        assert len(gda) == len(gear) // 2
+
+    def test_accuracy_equals_gear_at_shared_points(self):
+        gear = {pt.p: pt.accuracy for pt in enumerate_gear_points(16, 4)}
+        for pt in enumerate_gda_points(16, 4):
+            assert pt.accuracy == pytest.approx(gear[pt.p])
+
+
+class TestFixedArchitectures:
+    def test_single_point(self):
+        points = enumerate_fixed_architecture_points(16, 4)
+        assert len(points) == 1
+        assert points[0].p == 4
+
+    def test_oversized_r_empty(self):
+        assert enumerate_fixed_architecture_points(16, 9) == []
+
+
+class TestCounts:
+    def test_fig1a_counts(self):
+        # N=16, R=2 panel.
+        assert count_configurations(16, "GeAr", 2) == 13
+        assert count_configurations(16, "GDA", 2) == 6
+        assert count_configurations(16, "ACA-II", 2) == 1
+        assert count_configurations(16, "ETAII", 2) == 1
+        assert count_configurations(16, "ACA-I", 2) == 0
+
+    def test_fig1b_counts(self):
+        # N=16, R=4 panel.
+        assert count_configurations(16, "GeAr", 4) == 11
+        assert count_configurations(16, "GDA", 4) == 2
+        assert count_configurations(16, "ACA-II", 4) == 1
+
+    def test_gear_dominates_everywhere(self):
+        for r in (2, 3, 4, 8):
+            gear = count_configurations(16, "GeAr", r)
+            for arch in ("GDA", "ACA-II", "ETAII", "ACA-I"):
+                assert gear >= count_configurations(16, arch, r)
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError):
+            count_configurations(16, "FancyAdder", 2)
+
+    def test_aca1_only_r1(self):
+        assert count_configurations(16, "ACA-I", 1) == 1

@@ -1,0 +1,118 @@
+"""Unit tests for the netlist equivalence checker."""
+
+import pytest
+
+from repro.rtl.builders import (
+    build_cla,
+    build_gear,
+    build_kogge_stone,
+    build_rca,
+)
+from repro.rtl.equivalence import check_equivalence
+from repro.rtl.gates import Op
+from repro.rtl.netlist import Netlist
+from repro.rtl.opt import optimize
+from repro.rtl.verilog import to_verilog
+from repro.rtl.verilog_parser import parse_verilog
+
+
+class TestExhaustiveRegime:
+    def test_rca_equals_cla_proof(self):
+        report = check_equivalence(build_rca(8), build_cla(8))
+        assert report.equivalent
+        assert report.exhaustive
+        assert report.vectors_checked == 1 << 16
+
+    def test_rca_equals_kogge_stone(self):
+        report = check_equivalence(build_rca(10), build_kogge_stone(10))
+        assert report.equivalent and report.exhaustive
+
+    def test_gear_roundtrip_proof(self):
+        nl = build_gear(10, 2, 4)
+        parsed = parse_verilog(to_verilog(nl))
+        report = check_equivalence(nl, parsed)
+        assert report.equivalent and report.exhaustive
+
+    def test_optimize_preserves_function(self):
+        nl = build_gear(9, 1, 3, allow_partial=True)
+        report = check_equivalence(nl, optimize(nl))
+        assert report.equivalent
+
+    def test_detects_mismatch_with_counterexample(self):
+        good = build_rca(6)
+        bad = Netlist("bad")
+        a = bad.add_input_bus("A", 6)
+        b = bad.add_input_bus("B", 6)
+        from repro.rtl.builders import _ripple_chain
+
+        sums, cout = _ripple_chain(bad, a, b)
+        sums[3] = bad.not_(sums[3])  # corrupt one sum bit
+        bad.set_output_bus("S", sums + [cout])
+        report = check_equivalence(good, bad)
+        assert not report.equivalent
+        assert report.mismatched_bus == "S"
+        assert report.counterexample is not None
+        # The counterexample must actually demonstrate the difference.
+        from repro.rtl.sim import simulate_bus
+
+        cex = report.counterexample
+        assert int(simulate_bus(good, cex, "S")) != int(simulate_bus(bad, cex, "S"))
+
+
+class TestRandomRegime:
+    def test_wide_adders_random_pass(self):
+        report = check_equivalence(build_rca(16), build_cla(16),
+                                   random_vectors=5000)
+        assert report.equivalent
+        assert not report.exhaustive
+        assert report.vectors_checked >= 5000
+
+    def test_wide_mismatch_found(self):
+        good = build_rca(16)
+        bad = Netlist("bad16")
+        a = bad.add_input_bus("A", 16)
+        b = bad.add_input_bus("B", 16)
+        from repro.rtl.builders import _ripple_chain
+
+        sums, cout = _ripple_chain(bad, a, b)
+        sums[15] = bad.not_(sums[15])
+        bad.set_output_bus("S", sums + [cout])
+        report = check_equivalence(good, bad, random_vectors=5000)
+        assert not report.equivalent
+
+    def test_corner_catches_stuck_lsb(self):
+        # A bug visible only at all-zero inputs is caught by the corner set
+        # even before random vectors.
+        good = build_rca(16)
+        bad = Netlist("stuck")
+        a = bad.add_input_bus("A", 16)
+        b = bad.add_input_bus("B", 16)
+        from repro.rtl.builders import _ripple_chain
+
+        sums, cout = _ripple_chain(bad, a, b)
+        sums[0] = bad.or_(sums[0], bad.const(1))  # S[0] stuck at 1
+        bad.set_output_bus("S", sums + [cout])
+        report = check_equivalence(good, bad, random_vectors=10)
+        assert not report.equivalent
+
+
+class TestInterfaceValidation:
+    def test_different_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            check_equivalence(build_rca(8), build_rca(9))
+
+    def test_no_shared_outputs_rejected(self):
+        nl = Netlist("odd")
+        a = nl.add_input_bus("A", 2)
+        b = nl.add_input_bus("B", 2)
+        nl.set_output_bus("Q", [nl.and_(a[0], b[0])])
+        with pytest.raises(ValueError):
+            check_equivalence(build_rca(2), nl)
+
+    def test_only_shared_buses_compared(self):
+        # GeAr has an extra ERR bus; comparing against plain RCA-sum-only
+        # netlist uses bus S only... here: gear vs gear-without-ERR.
+        with_err = build_gear(8, 2, 2, with_error_detect=True)
+        without = build_gear(8, 2, 2, with_error_detect=False)
+        report = check_equivalence(with_err, without)
+        assert report.equivalent

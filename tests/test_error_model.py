@@ -1,0 +1,199 @@
+"""Unit tests for the §3.2 error-probability model (Eqs. 4-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.error_model import (
+    ErrorEvent,
+    error_events,
+    error_probability,
+    error_probability_brute,
+    error_probability_exact,
+    accuracy_percentage,
+    max_error_distance,
+    mean_error_distance_analytic,
+    mean_error_distance_paper_model,
+    mean_error_distance_upper_bound,
+    normalized_error_distance_analytic,
+)
+from repro.core.gear import GeArAdder, GeArConfig
+from repro.metrics.exhaustive import exhaustive_error_probability, exhaustive_stats
+
+
+class TestErrorEvents:
+    def test_event_count_is_r_times_k_minus_1(self):
+        cfg = GeArConfig(16, 4, 4)  # k = 3
+        assert len(error_events(cfg)) == cfg.r * (cfg.k - 1)
+
+    def test_event_probability_eq5(self):
+        # ρ[Z_m] = ρ[Gr]·ρ[Pr]^(L-m)
+        cfg = GeArConfig(12, 4, 4)
+        for event in error_events(cfg):
+            assert event.probability == pytest.approx(
+                0.25 * 0.5 ** (cfg.L - event.m)
+            )
+
+    def test_event_geometry(self):
+        cfg = GeArConfig(12, 4, 4)
+        events = error_events(cfg)
+        # window 1: generate positions 0..3, spans reaching bit base+P-1 = 7
+        assert [e.generate_pos for e in events] == [0, 1, 2, 3]
+        assert all(e.propagate_high == 7 for e in events)
+        assert all(e.propagate_low == e.generate_pos + 1 for e in events)
+
+    def test_same_window_events_mutually_exclusive(self):
+        cfg = GeArConfig(16, 4, 4)
+        events = [e for e in error_events(cfg) if e.window == 1]
+        for i, e1 in enumerate(events):
+            for e2 in events[i + 1:]:
+                assert e1.excludes(e2)
+
+    def test_distant_windows_compatible(self):
+        cfg = GeArConfig(32, 4, 4)  # spans end at 4s+3; window s+2 clears it
+        events = error_events(cfg)
+        e1 = next(e for e in events if e.window == 1 and e.m == 4)
+        e4 = next(e for e in events if e.window == 4 and e.m == 4)
+        assert not e1.excludes(e4)
+        assert not e4.excludes(e1)
+
+    def test_event_not_excluding_itself_semantics(self):
+        e = ErrorEvent(window=1, m=1, generate_pos=0, propagate_low=1,
+                       propagate_high=4)
+        assert not e.excludes(e)
+
+
+class TestInclusionExclusion:
+    @pytest.mark.parametrize("n,r,p", [
+        (12, 4, 4), (16, 4, 8), (16, 2, 2), (16, 2, 6), (12, 2, 2),
+        (16, 1, 3), (10, 2, 4),
+    ])
+    def test_dp_matches_brute_force(self, n, r, p):
+        cfg = GeArConfig(n, r, p, allow_partial=(n - r - p) % r != 0)
+        assert error_probability(cfg) == pytest.approx(
+            error_probability_brute(cfg), abs=1e-14
+        )
+
+    def test_brute_force_refuses_large(self):
+        with pytest.raises(ValueError):
+            error_probability_brute(GeArConfig(64, 2, 2))
+
+    def test_exact_config_zero(self):
+        assert error_probability(GeArConfig(8, 4, 4)) == 0.0
+        assert error_probability_exact(GeArConfig(8, 4, 4)) == 0.0
+
+    def test_probability_in_unit_interval(self):
+        for p in range(1, 14):
+            cfg = GeArConfig(16, 2, p, allow_partial=(14 - p) % 2 != 0)
+            assert 0.0 <= error_probability(cfg) <= 1.0
+
+    def test_monotone_in_p(self):
+        probs = []
+        for p in (2, 4, 6, 8, 10, 12):
+            probs.append(error_probability(GeArConfig(16, 2, p)))
+        assert probs == sorted(probs, reverse=True)
+
+    def test_single_speculative_window_closed_form(self):
+        # k=2: P(err) = Σ_m Gr·Pr^(L-m) exactly (no joint terms).
+        cfg = GeArConfig(12, 4, 4)
+        expected = sum(0.25 * 0.5 ** (8 - m) for m in range(1, 5))
+        assert error_probability(cfg) == pytest.approx(expected)
+
+
+class TestExactDP:
+    @pytest.mark.parametrize("n,r,p", [
+        (8, 1, 1), (8, 2, 2), (8, 1, 3), (8, 2, 4), (10, 2, 2), (10, 3, 3),
+        (12, 4, 4), (9, 2, 3),
+    ])
+    def test_matches_exhaustive_enumeration(self, n, r, p):
+        cfg = GeArConfig(n, r, p, allow_partial=(n - r - p) % r != 0)
+        adder = GeArAdder(cfg)
+        assert error_probability_exact(cfg) == pytest.approx(
+            exhaustive_error_probability(adder), abs=1e-12
+        )
+
+    @pytest.mark.parametrize("n,r,p", [
+        (16, 2, 2), (24, 2, 2), (16, 1, 1), (32, 4, 4), (16, 4, 8),
+        (20, 5, 5),
+    ])
+    def test_paper_model_is_exact_for_uniform_operands(self, n, r, p):
+        # Reproduction finding: the Eq. 5-7 event set is complete, so the
+        # model equals the first-principles DP on every strict configuration.
+        cfg = GeArConfig(n, r, p)
+        assert error_probability_exact(cfg) == pytest.approx(
+            error_probability(cfg), abs=1e-12
+        )
+
+    @pytest.mark.parametrize("n,r,p", [(20, 3, 7), (20, 6, 4), (20, 7, 3)])
+    def test_paper_model_conservative_for_partial_configs(self, n, r, p):
+        # With (N-L) % R != 0 the model scores a nominal full-R last window,
+        # while the functional adder's anchored last window errs less.
+        cfg = GeArConfig(n, r, p, allow_partial=True)
+        assert error_probability(cfg) >= error_probability_exact(cfg)
+
+
+class TestAccuracyPercentage:
+    def test_complement_of_probability(self):
+        cfg = GeArConfig(16, 4, 4)
+        assert accuracy_percentage(cfg) == pytest.approx(
+            (1 - error_probability(cfg)) * 100
+        )
+
+    def test_exact_flag_agrees_with_model(self):
+        cfg = GeArConfig(16, 1, 1)
+        assert accuracy_percentage(cfg, exact=True) == pytest.approx(
+            accuracy_percentage(cfg)
+        )
+
+
+class TestErrorDistanceModels:
+    @pytest.mark.parametrize("n,r,p", [
+        (8, 1, 1), (8, 1, 2), (8, 2, 2), (8, 2, 4), (10, 2, 4), (12, 4, 4),
+        (9, 1, 2),
+    ])
+    def test_analytic_med_matches_exhaustive(self, n, r, p):
+        cfg = GeArConfig(n, r, p, allow_partial=(n - r - p) % r != 0)
+        stats = exhaustive_stats(GeArAdder(cfg))
+        assert mean_error_distance_analytic(cfg) == pytest.approx(
+            stats.med, rel=1e-9
+        )
+
+    def test_upper_bound_dominates(self):
+        for (n, r, p) in [(8, 1, 1), (12, 2, 2), (16, 4, 4)]:
+            cfg = GeArConfig(n, r, p)
+            assert mean_error_distance_upper_bound(cfg) >= \
+                mean_error_distance_analytic(cfg) - 1e-12
+
+    def test_paper_model_med_underestimates(self):
+        cfg = GeArConfig(8, 1, 1)
+        assert mean_error_distance_paper_model(cfg) <= \
+            mean_error_distance_analytic(cfg) + 1e-12
+
+    def test_max_error_distance_tight_for_k2(self):
+        cfg = GeArConfig(12, 4, 4)  # k = 2: bound is achieved
+        adder = GeArAdder(cfg)
+        size = 1 << 12
+        vals = np.arange(size, dtype=np.int64)
+        worst = 0
+        for start in range(0, size, 512):
+            a = np.repeat(vals[start : start + 512], size)
+            b = np.tile(vals, 512)
+            worst = max(worst, int(((a + b) - np.asarray(adder.add(a, b))).max()))
+        assert worst == max_error_distance(cfg)
+
+    def test_max_error_distance_is_upper_bound_for_k3(self):
+        cfg = GeArConfig(8, 2, 2)  # k = 3: wrap cancellation applies
+        adder = GeArAdder(cfg)
+        vals = np.arange(256, dtype=np.int64)
+        a = np.repeat(vals, 256)
+        b = np.tile(vals, 256)
+        worst = int(((a + b) - np.asarray(adder.add(a, b))).max())
+        assert worst <= max_error_distance(cfg)
+        assert worst == 64  # single top-window miss
+
+    def test_ned_in_unit_interval(self):
+        for p in (1, 2, 4, 6):
+            cfg = GeArConfig(8, 1, p)
+            assert 0.0 <= normalized_error_distance_analytic(cfg) <= 1.0
+
+    def test_ned_zero_for_exact(self):
+        assert normalized_error_distance_analytic(GeArConfig(8, 4, 4)) == 0.0

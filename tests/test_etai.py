@@ -1,0 +1,63 @@
+"""Unit tests for ETAI (accurate/inaccurate split adder of [9])."""
+
+import numpy as np
+import pytest
+
+from repro.adders.etai import ErrorTolerantAdderI
+from tests.conftest import random_pairs
+
+
+class TestEtaiSemantics:
+    def test_zero_split_is_exact(self):
+        adder = ErrorTolerantAdderI(8, 0)
+        a, b = random_pairs(8, 500, seed=1)
+        np.testing.assert_array_equal(adder.add(a, b), a + b)
+
+    def test_upper_part_never_sees_lower_carry(self):
+        adder = ErrorTolerantAdderI(8, 4)
+        # Lower parts sum to 30 (carry in exact addition); ETAI drops it.
+        assert adder.add(0x0F, 0x0F) >> 4 == 0
+
+    def test_xor_until_first_double_one(self):
+        adder = ErrorTolerantAdderI(8, 4)
+        # lower: a=0b0101, b=0b0010 -> no double ones -> plain XOR
+        assert adder.add(0b0101, 0b0010) & 0xF == 0b0111
+
+    def test_forcing_from_double_one_down(self):
+        adder = ErrorTolerantAdderI(8, 4)
+        # lower: a=0b0110, b=0b0100 -> double one at bit 2 -> bits 2..0 = 1
+        got = adder.add(0b0110, 0b0100) & 0xF
+        assert got & 0b0111 == 0b0111
+        # bit 3 is above the first double-one: plain XOR = 0
+        assert (got >> 3) & 1 == 0
+
+    def test_scalar_matches_array(self):
+        adder = ErrorTolerantAdderI(10, 5)
+        a, b = random_pairs(10, 300, seed=2)
+        vec = np.asarray(adder.add(a, b))
+        for i in range(0, 300, 17):
+            assert adder.add(int(a[i]), int(b[i])) == vec[i]
+
+    def test_small_inputs_err_often(self):
+        # The documented ETAI weakness: small operands live entirely in the
+        # inaccurate part, so relative error is large.
+        adder = ErrorTolerantAdderI(16, 8)
+        a, b = random_pairs(8, 5000, seed=3)  # values < 256
+        approx = np.asarray(adder.add(a, b))
+        err_rate = np.mean(approx != a + b)
+        assert err_rate > 0.3
+
+    def test_error_bounded(self):
+        adder = ErrorTolerantAdderI(8, 4)
+        a, b = random_pairs(8, 20000, seed=4)
+        ed = np.abs(np.asarray(adder.add(a, b)) - (a + b))
+        assert ed.max() <= adder.max_error_distance()
+
+    def test_invalid_split(self):
+        with pytest.raises(ValueError):
+            ErrorTolerantAdderI(8, 8)
+        with pytest.raises(ValueError):
+            ErrorTolerantAdderI(8, -1)
+
+    def test_not_exact_flag(self):
+        assert not ErrorTolerantAdderI(8, 4).is_exact

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples double as integration tests of the public API — a broken import
+or a renamed keyword surfaces here before a user hits it.  Output is
+captured; scripts that write artefacts do so into the examples directory
+(kept, as the repository ships them).
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+#: Examples whose full run is slow; still executed, with a looser timeout
+#: budget communicated via smaller workloads inside the scripts themselves.
+_IDS = [p.stem for p in EXAMPLES]
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=_IDS)
+def test_example_runs(script, capsys, monkeypatch):
+    # Examples must not depend on argv or cwd.
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_example_inventory():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "design_space_exploration",
+        "image_pipeline",
+        "error_correction_demo",
+        "rtl_roundtrip",
+        "rtl_verification_flow",
+        "adaptive_accuracy",
+        "approximate_multiplier",
+        "stereo_matching",
+    } <= names

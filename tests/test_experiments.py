@@ -1,0 +1,248 @@
+"""Integration tests: every table/figure experiment runs and reproduces the
+paper's qualitative claims."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_correction_policy_ablation,
+    run_distribution_sensitivity_ablation,
+    run_fig1,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    render_fig1,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    from repro.experiments.table1 import default_table1_image
+
+    return run_table1(default_table1_image(rows=24, seed=42))
+
+
+@pytest.fixture(scope="module")
+def table2_rows():
+    return run_table2()
+
+
+class TestFig1:
+    def test_gear_offers_most_configs(self):
+        for panel in run_fig1():
+            assert panel.counts["GeAr"] > panel.counts["GDA"]
+            assert panel.counts["GDA"] > panel.counts["ACA-II"]
+
+    def test_render(self):
+        assert "R=2" in render_fig1()
+
+
+class TestFig7:
+    def test_panels_present(self):
+        panels = run_fig7()
+        assert set(panels) == {2, 3, 4, 8}
+
+    def test_accuracy_monotone_and_gda_subset(self):
+        for r, points in run_fig7().items():
+            accs = [pt.accuracy_pct for pt in points]
+            assert accs == sorted(accs)
+            gda_ps = {pt.p for pt in points if pt.gda}
+            assert all(p % r == 0 for p in gda_ps)
+            assert len(gda_ps) < len(points)
+
+    def test_paper_quoted_values(self):
+        # §4.1: (R=2, P=2) ≈ 51 %, (R=2, P=6) ≈ 97 %, (R=4, P=4) ≈ 94 %.
+        panels = run_fig7()
+        acc = {(pt.r, pt.p): pt.accuracy_pct for pts in panels.values()
+               for pt in pts}
+        assert acc[(2, 2)] == pytest.approx(52.2, abs=2.0)
+        assert acc[(2, 6)] == pytest.approx(97.0, abs=1.0)
+        assert acc[(4, 4)] == pytest.approx(94.0, abs=1.5)
+
+    def test_render(self):
+        assert "R=8" in render_fig7()
+
+
+class TestTable2AndFig8:
+    def test_ned_matches_paper_on_reference_entries(self, table2_rows):
+        # 6/8 Table II NED entries match the paper's normalisation exactly.
+        expected = {
+            (1, 3): 0.0585, (1, 4): 0.0273, (1, 5): 0.0117, (1, 6): 0.0039,
+            (2, 2): 0.1171, (2, 4): 0.0234,
+        }
+        for row in table2_rows:
+            if (row.r, row.p) in expected:
+                assert row.ned_paper_convention == pytest.approx(
+                    expected[(row.r, row.p)], abs=2e-3
+                ), (row.architecture, row.r, row.p)
+
+    def test_gda_and_gear_share_ned(self, table2_rows):
+        gda = {(r.r, r.p): r.med for r in table2_rows if r.architecture == "GDA"}
+        gear = {(r.r, r.p): r.med for r in table2_rows if r.architecture == "GeAr"}
+        for key in gda:
+            assert gda[key] == pytest.approx(gear[key], rel=1e-9)
+
+    def test_gda_never_faster(self, table2_rows):
+        gda = {(r.r, r.p): r for r in table2_rows if r.architecture == "GDA"}
+        gear = {(r.r, r.p): r for r in table2_rows if r.architecture == "GeAr"}
+        for key in gda:
+            assert gda[key].delay_ns >= gear[key].delay_ns
+
+    def test_fig8_gear_wins_every_config(self, table2_rows):
+        for pt in run_fig8(table2_rows):
+            assert pt.gear_wins
+
+    def test_renders(self, table2_rows):
+        assert "GDA" in render_table2(table2_rows)
+        assert "GeAr" in render_fig8(run_fig8(table2_rows))
+
+
+class TestTable3:
+    def test_analytic_matches_paper_to_printed_digits(self):
+        rows = run_table3(samples=10_000)
+        for row in rows:
+            assert row.analytic_pct == pytest.approx(
+                row.paper_analytic_pct, abs=5e-5 * 100
+            )
+
+    def test_simulation_consistent_with_model(self):
+        rows = run_table3(samples=50_000)
+        for row in rows:
+            sigma_pct = 100 * np.sqrt(
+                max(row.analytic_pct / 100, 1e-9) / 50_000
+            )
+            assert abs(row.simulated_pct - row.analytic_pct) < \
+                max(5 * sigma_pct, 0.02)
+
+    def test_render(self):
+        assert "Table III" in render_table3(run_table3(samples=2000))
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table4()
+
+    def test_paper_timing_columns_reproduced(self, rows):
+        from repro.paperdata import TABLE4_GEAR
+
+        for row in rows:
+            if row.r is None or row.paper_timing is None:
+                continue
+            ref = TABLE4_GEAR[(row.r, row.p)]
+            assert row.paper_timing.approximate_s == pytest.approx(
+                ref["approx_s"], rel=1e-4)
+            assert row.paper_timing.worst_s == pytest.approx(
+                ref["worst_s"], rel=1e-4)
+
+    def test_gear_beats_rca(self, rows):
+        rca = next(r for r in rows if r.name == "RCA")
+        for row in rows:
+            if row.name.startswith("GeAr"):
+                assert row.timing.approximate_s < rca.timing.approximate_s
+
+    def test_gda_slowest(self, rows):
+        rca = next(r for r in rows if r.name == "RCA")
+        for row in rows:
+            if row.name.startswith("GDA"):
+                assert row.delay_ns > rca.delay_ns
+
+    def test_render(self, rows):
+        assert "Table IV" in render_table4(rows)
+
+
+class TestTable1:
+    def test_rca_row_perfect(self, table1_rows):
+        rca = next(r for r in table1_rows if r.name == "RCA")
+        assert rca.stats.med == 0.0
+        assert rca.stats.maa(1.0) == 100.0
+
+    def test_accuracy_improves_with_p(self, table1_rows):
+        meds = {r.name: r.stats.med for r in table1_rows}
+        assert meds["GeAr(4,2)"] > meds["GeAr(4,4)"] > meds["GeAr(4,6)"] \
+            > meds["GeAr(4,8)"]
+
+    def test_gda_gear_equivalences(self, table1_rows):
+        by_name = {r.name: r for r in table1_rows}
+        # Table I: GDA(4,4) == ACA-II == ETAII == GeAr(4,4) accuracy columns.
+        group = ["GDA(4,4)", "ACA-II", "ETAII", "GeAr(4,4)"]
+        meds = [by_name[n].stats.med for n in group]
+        assert max(meds) == pytest.approx(min(meds), rel=1e-9)
+        # GDA(4,8) == GeAr(4,8)
+        assert by_name["GDA(4,8)"].stats.med == pytest.approx(
+            by_name["GeAr(4,8)"].stats.med, rel=1e-9)
+
+    def test_maa_curves_monotone(self, table1_rows):
+        for row in table1_rows:
+            curve = [row.stats.maa(t) for t in (1.0, 0.975, 0.95, 0.925, 0.90)]
+            assert curve == sorted(curve)
+
+    def test_delay_ordering(self, table1_rows):
+        by_name = {r.name: r for r in table1_rows}
+        assert by_name["GeAr(4,4)"].delay_ns < by_name["RCA"].delay_ns
+        assert by_name["GDA(4,8)"].delay_ns > by_name["RCA"].delay_ns
+
+    def test_render(self, table1_rows):
+        out = render_table1(table1_rows)
+        assert "MAA100" in out and "GeAr(4,8)" in out
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return run_fig9()
+
+    def test_all_applications_present(self, panels):
+        assert set(panels) == {"image_integral", "sad", "lpf"}
+
+    def test_gear_beats_rca_everywhere(self, panels):
+        for rows in panels.values():
+            rca = next(r for r in rows if r.adder == "RCA")
+            gear = next(r for r in rows if r.adder == "GeAr")
+            assert gear.timing.approximate_s < rca.timing.approximate_s
+            assert gear.timing.worst_s < rca.timing.worst_s * 1.1
+
+    def test_gda_slowest_everywhere(self, panels):
+        for rows in panels.values():
+            gda = next(r for r in rows if r.adder == "GDA")
+            assert gda.delay_ns == max(r.delay_ns for r in rows)
+
+    def test_render(self, panels):
+        assert "image_integral" in render_fig9(panels)
+
+
+class TestAblations:
+    def test_model_exact_for_uniform(self):
+        rows = run_distribution_sensitivity_ablation(
+            configs=[(16, 2, 2), (16, 4, 4)], samples=50_000
+        )
+        for row in rows:
+            assert row.model_is_exact_for_uniform
+            assert abs(row.measured["uniform"] - row.model) < 0.01
+
+    def test_distribution_drift_direction(self):
+        rows = run_distribution_sensitivity_ablation(
+            configs=[(16, 2, 2)], samples=50_000
+        )
+        row = rows[0]
+        # Sparse operands propagate less -> fewer errors than the model.
+        assert row.measured["sparse(0.25)"] < row.model
+
+    def test_correction_policy_tradeoff(self):
+        rows = run_correction_policy_ablation(samples=20_000)
+        neds = [r.residual_ned for r in rows]
+        cycles = [r.mean_cycles for r in rows]
+        assert neds == sorted(neds, reverse=True)
+        assert cycles == sorted(cycles)
+        assert rows[-1].residual_error_rate == 0.0

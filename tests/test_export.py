@@ -1,0 +1,55 @@
+"""Unit tests for CSV export of the experiments."""
+
+import csv
+import pathlib
+
+import pytest
+
+from repro.analysis.export import EXPORTERS, export_all, export_fig1, export_table3
+
+
+def _read(path: pathlib.Path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestExporters:
+    def test_fig1_csv(self, tmp_path):
+        path = export_fig1(tmp_path)
+        rows = _read(path)
+        assert rows[0] == ["R", "architecture", "P"]
+        gear_points = [r for r in rows[1:] if r[1] == "GeAr" and r[0] == "2"]
+        assert len(gear_points) == 13
+
+    def test_table3_csv(self, tmp_path):
+        path = export_table3(tmp_path)
+        rows = _read(path)
+        assert rows[0][0] == "N"
+        assert len(rows) == 5  # header + 4 configurations
+        first = rows[1]
+        assert first[:3] == ["12", "4", "4"]
+        assert float(first[4]) == pytest.approx(2.9297, abs=1e-3)
+
+    def test_export_subset(self, tmp_path):
+        paths = export_all(tmp_path, artefacts=["fig1", "table3"])
+        assert set(paths) == {"fig1", "table3"}
+        for p in paths.values():
+            assert p.exists()
+
+    def test_unknown_artefact_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_all(tmp_path, artefacts=["fig42"])
+
+    def test_registry_covers_every_paper_artefact(self):
+        assert set(EXPORTERS) == {
+            "fig1", "fig7", "fig8", "fig9",
+            "table1", "table2", "table3", "table4",
+        }
+
+    def test_fig7_series_monotone(self, tmp_path):
+        from repro.analysis.export import export_fig7
+
+        rows = _read(export_fig7(tmp_path))
+        r2 = [(int(r[1]), float(r[2])) for r in rows[1:] if r[0] == "2"]
+        accs = [acc for _, acc in sorted(r2)]
+        assert accs == sorted(accs)

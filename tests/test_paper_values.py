@@ -1,0 +1,134 @@
+"""The headline reproduction assertions: our models vs the paper's numbers.
+
+Each test pins one quantitative claim of the paper to our implementation.
+Analytic quantities must match to the paper's printed precision; synthesis
+-dependent quantities (delay, LUTs) must match in ordering and rough ratio.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.error_model import error_probability
+from repro.core.gear import GeArAdder, GeArConfig
+from repro.paperdata import (
+    TABLE2_GEAR,
+    TABLE3_ERROR_PROBABILITY,
+    TABLE4_GEAR,
+    TABLE4_OTHERS,
+)
+from repro.timing.latency import execution_timings
+
+
+class TestTable3Analytic:
+    @pytest.mark.parametrize("key", list(TABLE3_ERROR_PROBABILITY))
+    def test_error_probability_matches_printed_digits(self, key):
+        n, r, p = key
+        ref = TABLE3_ERROR_PROBABILITY[key]
+        cfg = GeArConfig(n, r, p, allow_partial=(n - r - p) % r != 0)
+        assert cfg.k == ref["k"]
+        ours = error_probability(cfg) * 100
+        assert ours == pytest.approx(ref["analytic_pct"], abs=5e-5 * 100)
+
+    def test_paper_k_typo_documented(self):
+        # Table III prints k=5 for (48,8,16); Eq. 1 gives 4.
+        assert TABLE3_ERROR_PROBABILITY[(48, 8, 16)]["paper_k"] == 5
+        assert GeArConfig(48, 8, 16).k == 4
+
+
+class TestTable4Analytic:
+    @pytest.mark.parametrize("key", list(TABLE4_GEAR))
+    def test_gear_error_probabilities(self, key):
+        r, p = key
+        ref = TABLE4_GEAR[key]
+        cfg = GeArConfig(20, r, p, allow_partial=(20 - r - p) % r != 0)
+        assert error_probability(cfg) == pytest.approx(ref["p_err"], rel=1e-4)
+
+    def test_baseline_probabilities(self):
+        # ACA-I(L=10) == GeAr(1,9); ACA-II/ETAII(L=10) == GeAr(5,5).
+        assert error_probability(GeArConfig(20, 1, 9)) == pytest.approx(
+            TABLE4_OTHERS["ACA-I"]["p_err"], rel=1e-4)
+        assert error_probability(GeArConfig(20, 5, 5)) == pytest.approx(
+            TABLE4_OTHERS["ETAII"]["p_err"], rel=1e-4)
+
+    @pytest.mark.parametrize("key", list(TABLE4_GEAR))
+    def test_timing_columns(self, key):
+        ref = TABLE4_GEAR[key]
+        cfg = GeArConfig(20, key[0], key[1],
+                         allow_partial=(20 - sum(key)) % key[0] != 0)
+        timing = execution_timings("x", ref["delay_ns"], ref["p_err"], cfg.k)
+        for ours, theirs in [
+            (timing.approximate_s, ref["approx_s"]),
+            (timing.best_s, ref["best_s"]),
+            (timing.average_s, ref["average_s"]),
+            (timing.worst_s, ref["worst_s"]),
+        ]:
+            assert ours == pytest.approx(theirs, rel=1e-4)
+
+
+class TestTable2Analytic:
+    def test_ned_paper_convention_reference_entries(self):
+        # MED / 2^(N-R) reproduces the paper's NED for these entries.
+        from repro.core.error_model import mean_error_distance_analytic
+
+        matching = [(1, 3), (1, 4), (1, 5), (1, 6), (2, 2), (2, 4)]
+        for (r, p) in matching:
+            strict = (8 - r - p) % r == 0
+            cfg = GeArConfig(8, r, p, allow_partial=not strict)
+            ned = mean_error_distance_analytic(cfg) / 2 ** (8 - r)
+            assert ned == pytest.approx(
+                TABLE2_GEAR[(r, p)]["ned"], abs=2e-4
+            ), (r, p)
+
+
+class TestFig7QuotedNumbers:
+    def test_section41_quotes(self):
+        # "a 4 bit adder (R=2, P=2) -> 51 %", "(R=2, P=6) -> 97 %",
+        # "(R=4, P=4) -> 94 %" — §4.1.
+        acc = lambda r, p: (1 - error_probability(
+            GeArConfig(16, r, p, allow_partial=(16 - r - p) % r != 0))) * 100
+        assert acc(2, 2) == pytest.approx(52.2, abs=2.5)
+        assert acc(2, 6) == pytest.approx(97.0, abs=1.0)
+        assert acc(4, 4) == pytest.approx(94.0, abs=1.5)
+
+    def test_higher_p_beats_same_l_higher_r(self):
+        # §4.1: (R=2,P=6) more accurate than (R=4,P=4) at equal L=8.
+        p26 = error_probability(GeArConfig(16, 2, 6))
+        p44 = error_probability(GeArConfig(16, 4, 4))
+        assert p26 < p44
+
+
+class TestHardwareOrderings:
+    def test_table1_delay_and_area_orderings(self):
+        from repro.adders import (
+            AccuracyConfigurableAdder,
+            AlmostCorrectAdder,
+            GracefullyDegradingAdder,
+            RippleCarryAdder,
+        )
+        from repro.timing.fpga import characterize
+
+        rca = characterize(RippleCarryAdder(16))
+        aca1 = characterize(AlmostCorrectAdder(16, 8))
+        aca2 = characterize(AccuracyConfigurableAdder(16, 8))
+        gear = characterize(GeArAdder(GeArConfig(16, 4, 4)))
+        gda = characterize(GracefullyDegradingAdder(16, 4, 8))
+
+        # Delay: GeAr == ACA-II fastest; GDA slower than RCA (Table I).
+        assert gear.delay_ns <= rca.delay_ns
+        assert aca2.delay_ns <= rca.delay_ns
+        assert gda.delay_ns > rca.delay_ns
+        # Area: RCA minimal; GDA larger than GeAr (Table I).
+        assert rca.luts <= gear.luts
+        assert gda.luts > gear.luts
+        # ACA-I pays area for overlap relative to GeAr(4,4) (Table I).
+        assert aca1.luts >= gear.luts
+
+    def test_gear_vs_gda_same_config_delay_ratio(self):
+        # Table II: GDA(1,6) / GeAr(1,6) ≈ 2x delay.
+        from repro.adders import GracefullyDegradingAdder
+        from repro.timing.fpga import characterize
+
+        gear = characterize(GeArAdder(GeArConfig(8, 1, 6)))
+        gda = characterize(GracefullyDegradingAdder(8, 1, 6,
+                                                    enforce_multiple=False))
+        assert 1.3 < gda.delay_ns / gear.delay_ns < 4.0

@@ -1,0 +1,31 @@
+"""Unit tests for the reproduction-report generator."""
+
+import pathlib
+
+from repro.analysis.report import generate_report, write_report
+
+
+class TestGenerateReport:
+    def test_quick_report_contains_core_sections(self):
+        text = generate_report(quick=True)
+        assert text.startswith("# GeAr reproduction report")
+        for heading in ("## Figure 1", "## Figure 7", "## Table 3", "## Table 4"):
+            assert heading in text
+        # Heavy sections and ablations skipped in quick mode.
+        assert "## Table 1" not in text
+        assert "Ablation" not in text
+
+    def test_quick_report_reproduces_key_numbers(self):
+        text = generate_report(quick=True)
+        assert "2.9297" in text      # Table III row 1
+        assert "0.004883" in text or "4.882" in text  # Table IV GeAr(1,9)
+
+    def test_ablation_override(self):
+        text = generate_report(quick=True, include_ablations=False)
+        assert "Ablation" not in text
+
+    def test_write_report(self, tmp_path):
+        target = write_report(tmp_path / "sub" / "rep.md", quick=True)
+        assert isinstance(target, pathlib.Path)
+        assert target.exists()
+        assert target.read_text().startswith("# GeAr reproduction report")

@@ -1,0 +1,150 @@
+"""Unit tests for repro.rtl.gates and repro.rtl.netlist."""
+
+import pytest
+
+from repro.rtl.gates import Gate, Op
+from repro.rtl.netlist import Netlist, bus_net
+
+
+class TestGate:
+    def test_arity_enforced_fixed(self):
+        with pytest.raises(ValueError):
+            Gate(output="x", op=Op.NOT, inputs=("a", "b"))
+
+    def test_arity_enforced_variadic(self):
+        with pytest.raises(ValueError):
+            Gate(output="x", op=Op.AND, inputs=("a",))
+
+    def test_mux_needs_three(self):
+        with pytest.raises(ValueError):
+            Gate(output="x", op=Op.MUX, inputs=("s", "a"))
+
+    def test_source_classification(self):
+        assert Gate(output="x", op=Op.INPUT).is_source
+        assert Gate(output="y", op=Op.CONST0).is_source
+        assert not Gate(output="z", op=Op.NOT, inputs=("x",)).is_source
+
+
+class TestNetlistConstruction:
+    def test_bus_net_naming(self):
+        assert bus_net("A", 3) == "A[3]"
+
+    def test_input_bus_creates_nets(self):
+        nl = Netlist("t")
+        nets = nl.add_input_bus("A", 4)
+        assert nets == ["A[0]", "A[1]", "A[2]", "A[3]"]
+        assert all(n in nl.gates for n in nets)
+
+    def test_duplicate_input_bus_rejected(self):
+        nl = Netlist("t")
+        nl.add_input_bus("A", 2)
+        with pytest.raises(ValueError):
+            nl.add_input_bus("A", 2)
+
+    def test_undriven_input_rejected(self):
+        nl = Netlist("t")
+        with pytest.raises(KeyError):
+            nl.and_("nothere", "alsonothere")
+
+    def test_double_drive_rejected(self):
+        nl = Netlist("t")
+        a = nl.add_input_bus("A", 1)
+        nl.add_gate(Op.NOT, (a[0],), output="x")
+        with pytest.raises(ValueError):
+            nl.add_gate(Op.NOT, (a[0],), output="x")
+
+    def test_const_shared(self):
+        nl = Netlist("t")
+        assert nl.const(1) == nl.const(1)
+        assert nl.const(0) != nl.const(1)
+        with pytest.raises(ValueError):
+            nl.const(2)
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            Netlist("bad name!")
+
+    def test_output_bus_requires_driven_nets(self):
+        nl = Netlist("t")
+        with pytest.raises(KeyError):
+            nl.set_output_bus("S", ["ghost"])
+
+    def test_output_bus_must_be_nonempty(self):
+        nl = Netlist("t")
+        with pytest.raises(ValueError):
+            nl.set_output_bus("S", [])
+
+    def test_duplicate_output_bus_rejected(self):
+        nl = Netlist("t")
+        a = nl.add_input_bus("A", 1)
+        nl.set_output_bus("S", a)
+        with pytest.raises(ValueError):
+            nl.set_output_bus("S", a)
+
+
+class TestNetlistQueries:
+    def _small(self):
+        nl = Netlist("t")
+        a = nl.add_input_bus("A", 2)
+        x = nl.xor(a[0], a[1])
+        y = nl.and_(a[0], x)
+        nl.set_output_bus("S", [y])
+        return nl, a, x, y
+
+    def test_topological_order_sources_first(self):
+        nl, a, x, y = self._small()
+        order = [g.output for g in nl.topological_order()]
+        assert order.index(a[0]) < order.index(x) < order.index(y)
+        assert len(order) == len(nl.gates)
+
+    def test_fanout_counts(self):
+        nl, a, x, y = self._small()
+        counts = nl.fanout_counts()
+        assert counts[a[0]] == 2  # feeds xor and and
+        assert counts[x] == 1
+        assert counts[y] == 0
+
+    def test_stats(self):
+        nl, *_ = self._small()
+        stats = nl.stats()
+        assert stats["gates"] == 2
+        assert stats["inputs"] == 2
+        assert stats["outputs"] == 1
+        assert stats["op_and"] == 1
+        assert stats["op_xor"] == 1
+
+    def test_half_adder_truth(self):
+        from repro.rtl.sim import simulate
+
+        nl = Netlist("t")
+        a = nl.add_input_bus("A", 1)
+        b = nl.add_input_bus("B", 1)
+        s, c = nl.half_adder(a[0], b[0])
+        nl.set_output_bus("S", [s, c])
+        for av in (0, 1):
+            for bv in (0, 1):
+                vals = simulate(nl, {"A": av, "B": bv})
+                assert int(vals[s]) == (av ^ bv)
+                assert int(vals[c]) == (av & bv)
+
+    def test_full_adder_truth(self):
+        from repro.rtl.sim import simulate
+
+        nl = Netlist("t")
+        a = nl.add_input_bus("A", 1)
+        b = nl.add_input_bus("B", 1)
+        cin = nl.add_input_bus("C", 1)
+        s, c = nl.full_adder(a[0], b[0], cin[0])
+        nl.set_output_bus("S", [s, c])
+        for av in (0, 1):
+            for bv in (0, 1):
+                for cv in (0, 1):
+                    vals = simulate(nl, {"A": av, "B": bv, "C": cv})
+                    total = av + bv + cv
+                    assert int(vals[s]) == total & 1
+                    assert int(vals[c]) == total >> 1
+
+    def test_input_nets_helper(self):
+        nl = Netlist("t")
+        nl.add_input_bus("A", 3)
+        assert nl.input_nets("A") == ["A[0]", "A[1]", "A[2]"]

@@ -1,0 +1,106 @@
+"""Unit tests for Monte-Carlo simulation and exhaustive evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.adders.rca import RippleCarryAdder
+from repro.core.gear import GeArAdder, GeArConfig
+from repro.metrics.exhaustive import (
+    MAX_EXHAUSTIVE_WIDTH,
+    exhaustive_error_probability,
+    exhaustive_stats,
+)
+from repro.metrics.simulate import (
+    PAPER_SAMPLE_COUNT,
+    monte_carlo_stats,
+    simulate_error_probability,
+)
+from repro.utils.distributions import SparseOperands
+
+
+class TestSimulateErrorProbability:
+    def test_exact_adder_never_errs(self):
+        report = simulate_error_probability(RippleCarryAdder(12), samples=2000)
+        assert report.measured_error_probability == 0.0
+        assert report.analytic_error_probability == 0.0
+        assert report.absolute_gap == 0.0
+
+    def test_paper_protocol_close_to_model(self):
+        adder = GeArAdder(GeArConfig(12, 4, 4))
+        report = simulate_error_probability(adder, samples=PAPER_SAMPLE_COUNT,
+                                            seed=2015)
+        assert report.absolute_gap is not None
+        assert report.absolute_gap < 0.01
+
+    def test_large_sample_converges(self):
+        adder = GeArAdder(GeArConfig(12, 4, 4))
+        report = simulate_error_probability(adder, samples=500_000, seed=1)
+        assert report.absolute_gap < 1e-3
+
+    def test_seed_reproducibility(self):
+        adder = GeArAdder(GeArConfig(12, 4, 4))
+        r1 = simulate_error_probability(adder, samples=5000, seed=9)
+        r2 = simulate_error_probability(adder, samples=5000, seed=9)
+        assert r1.measured_error_probability == r2.measured_error_probability
+
+    def test_custom_distribution(self):
+        adder = GeArAdder(GeArConfig(12, 4, 4))
+        sparse = simulate_error_probability(
+            adder, samples=50_000, seed=2,
+            distribution=SparseOperands(12, one_density=0.1),
+        )
+        uniform = simulate_error_probability(adder, samples=50_000, seed=2)
+        # Sparse operands propagate less -> fewer missed carries.
+        assert sparse.measured_error_probability < \
+            uniform.measured_error_probability
+
+    def test_invalid_samples(self):
+        with pytest.raises((ValueError, TypeError)):
+            simulate_error_probability(RippleCarryAdder(8), samples=0)
+
+
+class TestMonteCarloStats:
+    def test_small_run_single_chunk(self):
+        adder = GeArAdder(GeArConfig(12, 4, 4))
+        stats = monte_carlo_stats(adder, samples=10_000, seed=3)
+        assert stats.samples == 10_000
+        assert 0 < stats.error_rate < 0.1
+
+    def test_chunked_run_statistically_consistent(self):
+        # Chunking re-pairs the rng draws, so results are statistically
+        # equivalent rather than bit-identical.
+        adder = GeArAdder(GeArConfig(10, 2, 2))
+        whole = monte_carlo_stats(adder, samples=200_000, seed=4, chunk=1 << 20)
+        chunked = monte_carlo_stats(adder, samples=200_000, seed=4, chunk=7000)
+        assert chunked.samples == whole.samples
+        assert chunked.med == pytest.approx(whole.med, rel=0.05)
+        assert chunked.error_rate == pytest.approx(whole.error_rate, abs=5e-3)
+        assert chunked.maa(0.95) == pytest.approx(whole.maa(0.95), abs=1.0)
+        assert chunked.max_ed_bound == whole.max_ed_bound
+
+
+class TestExhaustive:
+    def test_matches_analytic_exactly(self):
+        cfg = GeArConfig(10, 2, 2)
+        adder = GeArAdder(cfg)
+        from repro.core.error_model import error_probability_exact
+
+        assert exhaustive_error_probability(adder) == pytest.approx(
+            error_probability_exact(cfg), abs=1e-12
+        )
+
+    def test_width_guard(self):
+        with pytest.raises(ValueError):
+            exhaustive_error_probability(RippleCarryAdder(MAX_EXHAUSTIVE_WIDTH + 1))
+
+    def test_stats_sample_count(self):
+        adder = GeArAdder(GeArConfig(8, 2, 2))
+        stats = exhaustive_stats(adder)
+        assert stats.samples == 1 << 16
+
+    def test_stats_chunking_invariant(self):
+        adder = GeArAdder(GeArConfig(8, 2, 2))
+        s1 = exhaustive_stats(adder, chunk_rows=256)
+        s2 = exhaustive_stats(adder, chunk_rows=17)
+        assert s1.med == pytest.approx(s2.med, rel=1e-12)
+        assert s1.error_rate == pytest.approx(s2.error_rate, abs=1e-12)

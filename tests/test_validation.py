@@ -1,0 +1,65 @@
+"""Unit tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_nonneg_int,
+    check_pos_int,
+    check_prob,
+)
+
+
+class TestCheckPosInt:
+    def test_accepts_positive(self):
+        assert check_pos_int("x", 3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            check_pos_int("x", bad)
+
+    @pytest.mark.parametrize("bad", [1.5, "3", None, True])
+    def test_rejects_non_int(self, bad):
+        with pytest.raises(TypeError):
+            check_pos_int("x", bad)
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValueError, match="myarg"):
+            check_pos_int("myarg", -2)
+
+
+class TestCheckNonnegInt:
+    def test_accepts_zero(self):
+        assert check_nonneg_int("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonneg_int("x", -1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_nonneg_int("x", False)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.01, 0.0, 1.0)
+
+
+class TestCheckProb:
+    def test_accepts_probabilities(self):
+        assert check_prob("p", 0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [-0.001, 1.001])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError):
+            check_prob("p", bad)
+
+    def test_converts_to_float(self):
+        assert isinstance(check_prob("p", 1), float)
