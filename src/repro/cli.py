@@ -176,6 +176,99 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.rtl.lint import (
+        Severity,
+        builder_matrix,
+        get_rule,
+        lint_netlist,
+        lint_verilog,
+        registered_rules,
+    )
+    from repro.rtl.verilog_parser import VerilogSyntaxError
+
+    if args.list_rules:
+        for rule in registered_rules():
+            print(f"{rule.id:20s} {rule.severity.label:8s} {rule.description}")
+        return 0
+    if args.target is None:
+        print("error: a lint target is required (builder name, 'all', or a "
+              ".v file)", file=sys.stderr)
+        return 2
+
+    fail_on = (None if args.fail_on == "never"
+               else Severity.from_label(args.fail_on))
+    suppress = tuple(args.suppress or ())
+    try:
+        for rid in suppress:
+            get_rule(rid)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # Resolve targets to (label, netlist) pairs.
+    try:
+        if args.target == "all":
+            if args.params:
+                print("error: 'all' takes no parameters", file=sys.stderr)
+                return 2
+            targets = list(builder_matrix())
+        elif args.target.endswith(".v") or Path(args.target).is_file():
+            if args.params:
+                print("error: file targets take no parameters", file=sys.stderr)
+                return 2
+            try:
+                source = Path(args.target).read_text()
+            except OSError as exc:
+                print(f"error: cannot read {args.target}: {exc}", file=sys.stderr)
+                return 2
+            targets = [(args.target, lint_verilog(source, suppress=suppress))]
+        else:
+            from repro.rtl.builders import build_named
+
+            targets = [(" ".join([args.target, *map(str, args.params)]),
+                        build_named(args.target, *args.params))]
+    except VerilogSyntaxError as exc:
+        print(f"error: {args.target}: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    from repro.rtl.netlist import Netlist
+    from repro.rtl.opt import optimize
+
+    reports = []
+    for label, item in targets:
+        if isinstance(item, Netlist):
+            if args.opt:
+                item = optimize(item)
+            report = lint_netlist(item, suppress=suppress)
+        else:  # already a LintReport (file target)
+            report = item
+        reports.append((label, report))
+
+    failed = any(
+        fail_on is not None and not report.ok(fail_on=fail_on)
+        for _, report in reports
+    )
+    if args.json:
+        payload = [dict(report.to_dict(), target=label)
+                   for label, report in reports]
+        print(_json.dumps(payload[0] if len(payload) == 1 else payload,
+                          indent=2))
+    else:
+        for label, report in reports:
+            lines = report.format_text().splitlines()
+            if label != report.name:
+                lines[0] = f"{label}: {lines[0].split(': ', 1)[1]}"
+            print("\n".join(lines))
+    return 1 if failed else 0
+
+
 def _cmd_ablation(args: argparse.Namespace) -> int:
     from repro.experiments import (
         render_correction_policy_ablation,
@@ -228,6 +321,31 @@ def build_parser() -> argparse.ArgumentParser:
     ]:
         cmd = sub.add_parser(name, help=help_text)
         cmd.set_defaults(func=_cmd_experiment(name))
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis of a builder netlist or structural .v file",
+        description="Lint a named builder adder (e.g. 'lint gear 12 4 4'), "
+        "every adder in the builder matrix ('lint all'), or a structural "
+        "Verilog file ('lint adder.v').",
+    )
+    lint.add_argument("target", nargs="?", default=None,
+                      help="builder name, 'all', or a .v file path")
+    lint.add_argument("params", nargs="*", type=int,
+                      help="builder parameters, e.g. 12 4 4")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable JSON output")
+    lint.add_argument("--fail-on", choices=["error", "warning", "info", "never"],
+                      default="error",
+                      help="exit 1 when a diagnostic reaches this severity "
+                      "(default: error)")
+    lint.add_argument("--suppress", action="append", metavar="RULE",
+                      help="skip a rule id (repeatable)")
+    lint.add_argument("--opt", action="store_true",
+                      help="lint the optimised netlist instead of the raw one")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and exit")
+    lint.set_defaults(func=_cmd_lint)
 
     ablation = sub.add_parser("ablation", help="run both ablation studies")
     ablation.set_defaults(func=_cmd_ablation)

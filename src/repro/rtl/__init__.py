@@ -12,7 +12,9 @@ package substitutes that flow with a pure-Python equivalent:
   ACA / GDA netlists,
 * :mod:`repro.rtl.verilog` / :mod:`repro.rtl.verilog_parser` — structural
   Verilog emission and a parser for the emitted subset, enabling round-trip
-  equivalence checks (the paper releases its RTL; we regenerate ours).
+  equivalence checks (the paper releases its RTL; we regenerate ours),
+* :mod:`repro.rtl.lint` / :mod:`repro.rtl.lint_rules` — rule-based static
+  analysis producing structured diagnostics (``gear lint`` on the CLI).
 """
 
 from repro.rtl.gates import Op, Gate, GATE_ARITY
@@ -22,6 +24,13 @@ from repro.rtl.sta import DelayModel, UnitDelayModel, FpgaDelayModel, critical_p
 from repro.rtl.area import estimate_luts
 from repro.rtl.verilog import to_verilog
 from repro.rtl.verilog_parser import parse_verilog
+from repro.rtl.lint import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    lint_netlist,
+    lint_verilog,
+)
 
 __all__ = [
     "Op",
@@ -38,4 +47,9 @@ __all__ = [
     "estimate_luts",
     "to_verilog",
     "parse_verilog",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "lint_netlist",
+    "lint_verilog",
 ]

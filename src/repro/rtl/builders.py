@@ -13,7 +13,7 @@ LUT-area estimate and the STA see realistic structures.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.rtl.gates import Op
 from repro.rtl.netlist import Netlist
@@ -48,7 +48,9 @@ def _ripple_chain(
     cin: Optional[str] = None,
     group: str = "carry",
     p_group: str = "",
-) -> Tuple[List[str], str]:
+    drop_sums: int = 0,
+    emit_cout: bool = True,
+) -> Tuple[List[Optional[str]], Optional[str]]:
     """Ripple-carry addition over parallel net lists.
 
     Returns (sum nets LSB first, carry-out net).  The carry gates are tagged
@@ -56,25 +58,37 @@ def _ripple_chain(
     ``p_group`` tags the per-bit propagate LUTs: distinct tags keep two
     chains over the same bits from sharing LUTs (each slice's LUT feeds its
     own MUXCY, so physically separate carry chains cannot share them).
+
+    ``drop_sums`` skips building the sum XOR of that many low bits (their
+    slots in the returned list are ``None``); GeAr prediction bits and
+    ETAII carry generators feed the chain but never observe those sums, and
+    building them anyway is exactly the dead logic the lint pass flags.
+    ``emit_cout=False`` likewise skips the final bit's carry gates when the
+    caller discards the carry out (the returned carry is then ``None``).
     """
     if len(a_nets) != len(b_nets):
         raise ValueError("operand net lists must have equal length")
-    sums: List[str] = []
+    sums: List[Optional[str]] = []
     carry = cin
-    for a, b in zip(a_nets, b_nets):
+    last = len(a_nets) - 1
+    for idx, (a, b) in enumerate(zip(a_nets, b_nets)):
+        keep_sum = idx >= drop_sums
+        need_carry = emit_cout or idx < last
         # The propagate XOR is the slice LUT; everything else rides the
         # dedicated carry chain (MUXCY/XORCY) and is tagged accordingly so
         # the delay and area models treat it as such.
-        p = netlist.xor(a, b, group=p_group)
-        g = netlist.and_(a, b, group=group)
         if carry is None:
-            sums.append(p)
-            carry = g
+            sums.append(netlist.xor(a, b, group=p_group) if keep_sum else None)
+            carry = netlist.and_(a, b, group=group) if need_carry else None
         else:
-            sums.append(netlist.xor(p, carry, group=group))
-            chain = netlist.and_(p, carry, group=group)
-            carry = netlist.or_(g, chain, group=group)
-    assert carry is not None
+            p = netlist.xor(a, b, group=p_group) if keep_sum or need_carry else None
+            sums.append(netlist.xor(p, carry, group=group) if keep_sum else None)
+            if need_carry:
+                g = netlist.and_(a, b, group=group)
+                chain = netlist.and_(p, carry, group=group)
+                carry = netlist.or_(g, chain, group=group)
+            else:
+                carry = None
     return sums, carry
 
 
@@ -109,11 +123,28 @@ def build_cla(width: int, name: str = "cla") -> Netlist:
     return nl
 
 
-def _lookahead_carries(nl: Netlist, g: Sequence[str], p: Sequence[str]) -> List[str]:
-    """Flat CLA carry nets: carries[i] = carry out of bit i (cin = 0)."""
+def _lookahead_carries(
+    nl: Netlist,
+    g: Sequence[str],
+    p: Sequence[Optional[str]],
+    needed: Optional[Sequence[int]] = None,
+) -> List[Optional[str]]:
+    """Flat CLA carry nets: carries[i] = carry out of bit i (cin = 0).
+
+    Each carry is an independent sum-of-products, so callers that consume
+    only some of them (GDA predicts just the block boundary carry; GeAr
+    windows discard carries under the prediction field) pass ``needed`` to
+    avoid building dead product trees; unrequested slots are ``None``.
+    ``p[0]`` is never read — only ``p[j]`` for ``j >= 1`` appears in the
+    expansion — so callers may pass ``None`` there.
+    """
     width = len(g)
-    carries: List[str] = []
+    wanted = set(range(width) if needed is None else needed)
+    carries: List[Optional[str]] = []
     for i in range(width):
+        if i not in wanted:
+            carries.append(None)
+            continue
         terms = [g[i]]
         for j in range(i):
             factors = [g[j]] + list(p[j + 1 : i + 1])
@@ -136,18 +167,33 @@ def build_kogge_stone(width: int, name: str = "ksa") -> Netlist:
     b = nl.add_input_bus("B", width)
     g = [nl.and_(a[i], b[i]) for i in range(width)]
     p = [nl.xor(a[i], b[i]) for i in range(width)]
-    prop = list(p)
-    gen = list(g)
+    levels: List[int] = []
     dist = 1
     while dist < width:
+        levels.append(dist)
+        dist <<= 1
+    # Merged propagates only feed later propagate merges (generate merges
+    # read the *current* level's prop), so walk the levels backwards to
+    # find which (level, index) merges are ever consumed; building the rest
+    # is exactly the dead logic the lint pass flags.
+    create: Dict[int, set] = {}
+    needs: set = set()
+    for d in reversed(levels):
+        create[d] = {i for i in range(d, width) if i in needs}
+        reads = set(range(d, width)) | {i - d for i in create[d]}
+        needs = reads | (needs - create[d])
+
+    prop = list(p)
+    gen = list(g)
+    for d in levels:
         new_gen = list(gen)
         new_prop = list(prop)
-        for i in range(dist, width):
+        for i in range(d, width):
             # (g, p) ∘ (g', p') = (g | p·g', p·p')
-            new_gen[i] = nl.or_(gen[i], nl.and_(prop[i], gen[i - dist]))
-            new_prop[i] = nl.and_(prop[i], prop[i - dist])
+            new_gen[i] = nl.or_(gen[i], nl.and_(prop[i], gen[i - d]))
+            if i in create[d]:
+                new_prop[i] = nl.and_(prop[i], prop[i - d])
         gen, prop = new_gen, new_prop
-        dist <<= 1
     # gen[i] is now the carry out of bit i (cin = 0).
     sums = [p[0]] + [nl.xor(p[i], gen[i - 1]) for i in range(1, width)]
     nl.set_output_bus("S", sums + [gen[width - 1]])
@@ -216,18 +262,38 @@ def build_carry_skip(width: int, block: int = 4, name: str = "cska") -> Netlist:
 
 
 def _window_sum(netlist: Netlist, a_nets: Sequence[str], b_nets: Sequence[str],
-                style: str) -> Tuple[List[str], str]:
+                style: str, drop_sums: int = 0,
+                emit_cout: bool = True) -> Tuple[List[Optional[str]], Optional[str]]:
     """Sub-adder implementation selector for GeAr windows (§4.4 remark:
-    the model is not specific to any sub-adder type)."""
+    the model is not specific to any sub-adder type).
+
+    ``drop_sums`` / ``emit_cout`` behave as in :func:`_ripple_chain`: sum
+    bits under the prediction field and unused carry outs are simply not
+    built, keeping every generated netlist free of dead logic.
+    """
     if style == "rca":
-        return _ripple_chain(netlist, a_nets, b_nets)
+        return _ripple_chain(netlist, a_nets, b_nets,
+                             drop_sums=drop_sums, emit_cout=emit_cout)
     if style == "cla":
+        n = len(a_nets)
         g = [netlist.and_(x, y) for x, y in zip(a_nets, b_nets)]
-        p = [netlist.xor(x, y) for x, y in zip(a_nets, b_nets)]
-        carries = _lookahead_carries(netlist, g, p)
-        sums = [p[0]] + [netlist.xor(p[i], carries[i - 1])
-                         for i in range(1, len(a_nets))]
-        return sums, carries[-1]
+        # p[0] only ever feeds sum bit 0 (the lookahead expansion reads
+        # p[1:] exclusively), so skip it when that sum is dropped.
+        p: List[Optional[str]] = [
+            netlist.xor(x, y) if (i > 0 or drop_sums == 0) else None
+            for i, (x, y) in enumerate(zip(a_nets, b_nets))
+        ]
+        needed = {i - 1 for i in range(max(1, drop_sums), n)}
+        if emit_cout:
+            needed.add(n - 1)
+        carries = _lookahead_carries(netlist, g, p, needed=sorted(needed))
+        sums: List[Optional[str]] = [p[0] if drop_sums == 0 else None]
+        for i in range(1, n):
+            if i >= drop_sums:
+                sums.append(netlist.xor(p[i], carries[i - 1]))
+            else:
+                sums.append(None)
+        return sums, carries[-1] if emit_cout else None
     raise ValueError(f"unknown sub-adder style {style!r}; use 'rca' or 'cla'")
 
 
@@ -257,25 +323,37 @@ def build_gear(
     a = nl.add_input_bus("A", n)
     b = nl.add_input_bus("B", n)
 
+    detect = with_error_detect and cfg.k > 1
+    windows = cfg.windows()
     result: List[str] = [""] * n
-    carry_outs: List[str] = []
-    predicts: List[str] = []
+    carry_outs: List[Optional[str]] = []
+    predicts: List[Optional[str]] = []
 
-    for i, window in enumerate(cfg.windows()):
+    for i, window in enumerate(windows):
         lo, hi = window.low, window.high
-        sums, cout = _window_sum(nl, a[lo : hi + 1], b[lo : hi + 1], sub_adder)
+        is_last = i == len(windows) - 1
+        pred = 0 if i == 0 else window.prediction_bits
+        # A window's carry out is consumed by the §3.3 detector of the next
+        # sub-adder (when detection is on) and, for the last window, by the
+        # sum MSB; otherwise it is not built at all.
+        sums, cout = _window_sum(
+            nl, a[lo : hi + 1], b[lo : hi + 1], sub_adder,
+            drop_sums=pred, emit_cout=is_last or detect,
+        )
         carry_outs.append(cout)
         if i == 0:
             result[lo : hi + 1] = sums
-            predicts.append(nl.const(0))  # first sub-adder predicts nothing
+            predicts.append(None)  # first sub-adder predicts nothing
         else:
-            pred = window.prediction_bits
             result[window.result_low : window.result_high + 1] = sums[pred:]
-            prop_bits = [nl.xor(a[lo + j], b[lo + j]) for j in range(pred)]
-            predicts.append(_tree(nl, Op.AND, prop_bits))
+            if detect:
+                prop_bits = [nl.xor(a[lo + j], b[lo + j]) for j in range(pred)]
+                predicts.append(_tree(nl, Op.AND, prop_bits))
+            else:
+                predicts.append(None)
 
     nl.set_output_bus("S", result + [carry_outs[-1]])
-    if with_error_detect and cfg.k > 1:
+    if detect:
         err = [
             nl.and_(predicts[i], carry_outs[i - 1])
             for i in range(1, cfg.k)
@@ -315,11 +393,16 @@ def build_etaii(n: int, sub_adder_len: int, name: str = "etaii") -> Netlist:
         else:
             # Dedicated carry generator over the previous segment: its own
             # carry chain, so its propagate LUTs cannot be shared with the
-            # sum unit covering the same bits (distinct p_group).
+            # sum unit covering the same bits (distinct p_group).  It only
+            # produces a carry — drop_sums suppresses the sum XORs a full
+            # ripple chain would leave dangling.
             lo = base - half
             _, cin = _ripple_chain(nl, a[lo:base], b[lo:base],
-                                   p_group="carrygen")
-        sums, cout = _ripple_chain(nl, a[base:hi], b[base:hi], cin=cin)
+                                   p_group="carrygen", drop_sums=base - lo)
+        # Sum units never chain into each other (the carry generators feed
+        # them instead), so only the top segment's carry out is observable.
+        sums, cout = _ripple_chain(nl, a[base:hi], b[base:hi], cin=cin,
+                                   emit_cout=hi >= n)
         result.extend(sums)
     assert cout is not None
     nl.set_output_bus("S", result + [cout])
@@ -371,9 +454,17 @@ def build_gda(n: int, mb: int, mc: int, name: str = "gda") -> Netlist:
         else:
             lo = max(0, base - mc)
             g = [nl.and_(a[j], b[j]) for j in range(lo, base)]
-            p = [nl.xor(a[j], b[j]) for j in range(lo, base)]
-            cin = _lookahead_carries(nl, g, p)[-1]
-        sums, last_cout = _ripple_chain(nl, a[base : base + mb], b[base : base + mb], cin=cin)
+            # Only the block-boundary carry is predicted; p[0] never appears
+            # in its expansion, and intermediate carries are not consumed.
+            p: List[Optional[str]] = [None] + [
+                nl.xor(a[j], b[j]) for j in range(lo + 1, base)
+            ]
+            cin = _lookahead_carries(nl, g, p, needed=[base - lo - 1])[-1]
+        # Block sums never ripple into the next block (its carry comes from
+        # the lookahead predictor), so only the top block's carry out lives.
+        sums, last_cout = _ripple_chain(nl, a[base : base + mb],
+                                        b[base : base + mb], cin=cin,
+                                        emit_cout=base + mb >= n)
         result.extend(sums)
     assert last_cout is not None
     nl.set_output_bus("S", result + [last_cout])
@@ -448,7 +539,7 @@ def build_gear_corrected(
                 a_in.append(a[j])
                 b_in.append(b[j])
 
-        sums, cout = _ripple_chain(nl, a_in, b_in)
+        sums, cout = _ripple_chain(nl, a_in, b_in, drop_sums=pred)
         result[window.result_low : window.result_high + 1] = sums[pred:]
         # Detector on the muxed inputs: self-clears once corrected.
         prop_bits = [nl.xor(a_in[j], b_in[j]) for j in range(pred)]
@@ -477,3 +568,42 @@ def build_loa(n: int, approx_bits: int, name: str = "loa") -> Netlist:
     high, cout = _ripple_chain(nl, a[approx_bits:], b[approx_bits:], cin=cin)
     nl.set_output_bus("S", low + high + [cout])
     return nl
+
+
+def _build_gear_cla(n: int, r: int, p: int) -> Netlist:
+    """GeAr with carry-lookahead sub-adders (§4.4: model is style-agnostic)."""
+    return build_gear(n, r, p, name="gear_cla", sub_adder="cla")
+
+
+#: Builders addressable by name from the CLI (``gear lint <name> <params>``)
+#: and the lint builder matrix.  Values take positional integer parameters.
+NAMED_BUILDERS = {
+    "rca": build_rca,
+    "cla": build_cla,
+    "ksa": build_kogge_stone,
+    "csla": build_carry_select,
+    "cska": build_carry_skip,
+    "gear": build_gear,
+    "gear_cla": _build_gear_cla,
+    "gear_corrected": build_gear_corrected,
+    "aca1": build_aca1,
+    "aca2": build_aca2,
+    "etaii": build_etaii,
+    "gda": build_gda,
+    "loa": build_loa,
+}
+
+
+def build_named(name: str, *params: int) -> Netlist:
+    """Construct a registered adder by name, e.g. ``build_named("gear", 12, 4, 4)``.
+
+    Raises :class:`ValueError` for unknown names and :class:`TypeError`
+    when the parameter count does not match the builder's signature.
+    """
+    try:
+        builder = NAMED_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown builder {name!r}; known: {', '.join(sorted(NAMED_BUILDERS))}"
+        ) from None
+    return builder(*params)

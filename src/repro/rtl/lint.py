@@ -1,0 +1,369 @@
+"""Rule-based static analysis (lint) over netlists.
+
+The RTL substrate is the foundation every reproduced table and figure rests
+on: builders construct :class:`~repro.rtl.netlist.Netlist` objects, the
+optimiser rewrites them, the Verilog emitter/parser round-trips them.  None
+of those layers checks global structural health — a builder that leaves
+dead logic, a parse that re-introduces a combinational loop, or an output
+bus wired to the wrong width is only caught (if at all) by downstream
+simulation.  This module provides that check as a classic lint pass:
+
+* :class:`Diagnostic` — one finding: rule id, :class:`Severity`, offending
+  net, human message, machine-readable payload, optional source location
+  (populated when the netlist came from :func:`~repro.rtl.verilog_parser.
+  parse_verilog`).
+* :class:`Rule` / :func:`register_rule` — an extensible registry; the
+  concrete rules live in :mod:`repro.rtl.lint_rules` and register
+  themselves on import.
+* :func:`lint_netlist` / :func:`lint_verilog` — run the rules and return a
+  :class:`LintReport` with text and JSON renderings.
+
+The CLI front end is ``gear lint`` (see :mod:`repro.cli`); the builder
+matrix in :func:`builder_matrix` is what CI lints so that every adder this
+repository can construct stays lint-clean by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.rtl.gates import Gate, Op
+from repro.rtl.netlist import Netlist, bus_net
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; comparable so ``--fail-on`` thresholds work."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_label(cls, label: str) -> "Severity":
+        try:
+            return cls[label.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {label!r}; use one of "
+                f"{', '.join(s.label for s in cls)}"
+            ) from None
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    Attributes:
+        rule: registered rule id (e.g. ``"dead-logic"``).
+        severity: :class:`Severity` of this finding.
+        message: human-readable description.
+        net: offending net name, when the finding is net-local.
+        location: ``(line, column)`` in the source ``.v`` file, when the
+            netlist was produced by the Verilog parser.
+        data: rule-specific machine-readable payload.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    net: Optional[str] = None
+    location: Optional[Tuple[int, int]] = None
+    data: Mapping[str, object] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "message": self.message,
+        }
+        if self.net is not None:
+            out["net"] = self.net
+        if self.location is not None:
+            out["line"], out["column"] = self.location
+        if self.data:
+            out["data"] = dict(self.data)
+        return out
+
+    def format(self) -> str:
+        where = f" [{self.net}]" if self.net else ""
+        loc = ""
+        if self.location is not None:
+            loc = f" (line {self.location[0]}, col {self.location[1]})"
+        return f"{self.severity.label}[{self.rule}]{where}: {self.message}{loc}"
+
+
+class LintContext:
+    """Precomputed structure shared by every rule during one lint run.
+
+    Rules must not assume the netlist is well-formed: the whole point of
+    lint is to diagnose netlists that violate the constructor invariants
+    (hand-built graphs, mutated ``gates`` dicts, parser output).  In
+    particular nothing here calls :meth:`Netlist.topological_order`, which
+    raises on the very defects the loop/undriven rules report.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self.gates: Mapping[str, Gate] = netlist.gates
+        self.locations: Mapping[str, Tuple[int, int]] = getattr(
+            netlist, "source_locations", {}
+        )
+        #: net -> number of gate inputs it feeds (missing nets included).
+        self.fanout: Dict[str, int] = {}
+        for gate in self.gates.values():
+            for src in gate.inputs:
+                self.fanout[src] = self.fanout.get(src, 0) + 1
+        #: declared input-bus bit nets, net -> (bus, index).
+        self.input_bits: Dict[str, Tuple[str, int]] = {}
+        for bus, width in netlist.input_buses.items():
+            for i in range(width):
+                self.input_bits[bus_net(bus, i)] = (bus, i)
+        self._live: Optional[Set[str]] = None
+
+    def loc(self, net: Optional[str]) -> Optional[Tuple[int, int]]:
+        if net is None:
+            return None
+        return self.locations.get(net)
+
+    def live(self) -> Set[str]:
+        """Nets reachable from the output buses (same as ``opt.sweep``)."""
+        if self._live is None:
+            from repro.rtl.opt import live_nets
+
+            self._live = live_nets(self.netlist)
+        return self._live
+
+    def diag(
+        self,
+        rule: "Rule",
+        message: str,
+        net: Optional[str] = None,
+        severity: Optional[Severity] = None,
+        **data: object,
+    ) -> Diagnostic:
+        """Build a :class:`Diagnostic` for ``rule``, auto-attaching location."""
+        return Diagnostic(
+            rule=rule.id,
+            severity=severity if severity is not None else rule.severity,
+            message=message,
+            net=net,
+            location=self.loc(net),
+            data=data,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """A registered lint rule.
+
+    Attributes:
+        id: stable kebab-case identifier (used for suppression and JSON).
+        severity: default severity of findings (a rule may override per
+            diagnostic via :meth:`LintContext.diag`).
+        description: one-line summary shown in docs and ``--list-rules``.
+        check: callable producing diagnostics for one netlist.
+    """
+
+    id: str
+    severity: Severity
+    description: str
+    check: Callable[[LintContext, "Rule"], Iterable[Diagnostic]]
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(
+    rule_id: str, severity: Severity, description: str
+) -> Callable[[Callable[[LintContext, Rule], Iterable[Diagnostic]]], Callable]:
+    """Class-less rule registration decorator.
+
+    The decorated function receives ``(context, rule)`` and yields (or
+    returns an iterable of) :class:`Diagnostic` objects.
+    """
+
+    def decorator(fn: Callable[[LintContext, Rule], Iterable[Diagnostic]]):
+        if rule_id in _REGISTRY:
+            raise ValueError(f"lint rule {rule_id!r} registered twice")
+        _REGISTRY[rule_id] = Rule(rule_id, severity, description, fn)
+        return fn
+
+    return decorator
+
+
+def registered_rules() -> List[Rule]:
+    """All registered rules, id-sorted (importing the built-in rule set)."""
+    import repro.rtl.lint_rules  # noqa: F401  (self-registers on import)
+
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    registered_rules()  # ensure built-ins are loaded
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown lint rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+@dataclasses.dataclass(frozen=True)
+class LintReport:
+    """Outcome of linting one netlist."""
+
+    name: str
+    diagnostics: Tuple[Diagnostic, ...]
+    rules_run: Tuple[str, ...]
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def by_rule(self, rule_id: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule_id]
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    def worst(self) -> Optional[Severity]:
+        return max((d.severity for d in self.diagnostics), default=None)
+
+    def ok(self, fail_on: Severity = Severity.ERROR) -> bool:
+        """True when no diagnostic reaches the ``fail_on`` threshold."""
+        worst = self.worst()
+        return worst is None or worst < fail_on
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.count(sev)} {sev.label}{'s' if self.count(sev) != 1 else ''}"
+            for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+            if self.count(sev)
+        ]
+        status = ", ".join(parts) if parts else "clean"
+        return f"{self.name}: {status} ({len(self.rules_run)} rules)"
+
+    def format_text(self) -> str:
+        lines = [self.summary()]
+        for diag in sorted(
+            self.diagnostics, key=lambda d: (-int(d.severity), d.rule, d.net or "")
+        ):
+            lines.append("  " + diag.format())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "netlist": self.name,
+            "ok": self.ok(),
+            "counts": {
+                sev.label: self.count(sev)
+                for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+            },
+            "rules_run": list(self.rules_run),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def lint_netlist(
+    netlist: Netlist,
+    rules: Optional[Sequence[str]] = None,
+    suppress: Iterable[str] = (),
+) -> LintReport:
+    """Run lint rules over ``netlist``.
+
+    Args:
+        netlist: circuit to analyse (need not satisfy the constructor
+            invariants — defective graphs are exactly the target).
+        rules: run only these rule ids (default: all registered).
+        suppress: rule ids to skip (e.g. ``{"duplicate-gate"}`` for
+            netlists that intentionally defer sharing to ``strash``).
+
+    Returns:
+        A :class:`LintReport`; use :meth:`LintReport.ok` for gating.
+    """
+    all_rules = registered_rules()
+    suppress_set = set(suppress)
+    for rid in suppress_set:
+        get_rule(rid)  # validate: typo'd suppressions must not pass silently
+    if rules is not None:
+        selected = [get_rule(rid) for rid in rules]
+    else:
+        selected = all_rules
+    selected = [r for r in selected if r.id not in suppress_set]
+
+    ctx = LintContext(netlist)
+    diagnostics: List[Diagnostic] = []
+    for rule in selected:
+        diagnostics.extend(rule.check(ctx, rule))
+    return LintReport(
+        name=netlist.name,
+        diagnostics=tuple(diagnostics),
+        rules_run=tuple(r.id for r in selected),
+    )
+
+
+def lint_verilog(
+    source: str,
+    rules: Optional[Sequence[str]] = None,
+    suppress: Iterable[str] = (),
+) -> LintReport:
+    """Parse structural Verilog and lint the resulting netlist.
+
+    Diagnostics carry (line, column) locations pointing into ``source``.
+    Syntax errors raise :class:`~repro.rtl.verilog_parser.VerilogSyntaxError`
+    before any lint rule runs.
+    """
+    from repro.rtl.verilog_parser import parse_verilog
+
+    return lint_netlist(parse_verilog(source), rules=rules, suppress=suppress)
+
+
+#: Builder-matrix entries: (builder name, positional parameters).  Every
+#: architecture the repository can construct appears at least once; CI
+#: lints the whole matrix so adders stay lint-clean by construction.
+BUILDER_MATRIX: Tuple[Tuple[str, Tuple[int, ...]], ...] = (
+    ("rca", (16,)),
+    ("cla", (16,)),
+    ("ksa", (16,)),
+    ("csla", (16, 4)),
+    ("cska", (16, 4)),
+    ("gear", (8, 2, 2)),
+    ("gear", (12, 4, 4)),
+    ("gear", (16, 4, 8)),
+    ("gear_cla", (12, 4, 4)),
+    ("aca1", (16, 4)),
+    ("aca2", (16, 8)),
+    ("etaii", (16, 8)),
+    ("gda", (16, 4, 4)),
+    ("loa", (16, 8)),
+    ("gear_corrected", (12, 4, 4)),
+)
+
+
+def builder_matrix() -> Iterator[Tuple[str, Netlist]]:
+    """Yield ``(label, netlist)`` for every entry in :data:`BUILDER_MATRIX`."""
+    from repro.rtl.builders import build_named
+
+    for name, params in BUILDER_MATRIX:
+        label = " ".join([name, *map(str, params)])
+        yield label, build_named(name, *params)

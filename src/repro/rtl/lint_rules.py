@@ -1,0 +1,449 @@
+"""Built-in lint rules over :class:`~repro.rtl.netlist.Netlist` graphs.
+
+Each rule registers itself with :func:`repro.rtl.lint.register_rule`; the
+framework hands every rule a shared :class:`~repro.rtl.lint.LintContext`
+and collects the yielded :class:`~repro.rtl.lint.Diagnostic` objects.
+
+Severity policy:
+
+* **error** — the netlist cannot be trusted (simulation/STA would raise or
+  silently mis-evaluate, or the Verilog emitter would produce garbage).
+* **warning** — structurally valid but almost certainly a builder bug
+  (dead logic, foldable constants, mis-attributed group tags).
+* **info** — legitimate-by-design structures worth knowing about
+  (strash candidates, fanout beyond the FPGA timing model's sweet spot).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.rtl.gates import Gate, Op
+from repro.rtl.lint import Diagnostic, LintContext, Rule, Severity, register_rule
+from repro.rtl.netlist import IDENTIFIER_RE, bus_net
+
+#: Verilog-2001 reserved words that could plausibly appear as net or module
+#: names.  The emitter writes identifiers verbatim, so a collision produces
+#: RTL that no tool (including our own parser) accepts.
+VERILOG_KEYWORDS = frozenset(
+    """always and assign begin buf bufif0 bufif1 case casex casez cmos deassign
+    default defparam disable edge else end endcase endfunction endmodule
+    endprimitive endspecify endtable endtask event for force forever fork
+    function highz0 highz1 if ifnone initial inout input integer join large
+    localparam macromodule medium module nand negedge nmos nor not notif0
+    notif1 or output parameter pmos posedge primitive pull0 pull1 pulldown
+    pullup rcmos real realtime reg release repeat rnmos rpmos rtran rtranif0
+    rtranif1 scalared signed small specify specparam strong0 strong1 supply0
+    supply1 table task time tran tranif0 tranif1 tri tri0 tri1 triand trior
+    trireg unsigned vectored wait wand weak0 weak1 while wire wor xnor
+    xor""".split()
+)
+
+#: Fanout beyond which the flat per-gate ``net_delay`` of
+#: :class:`~repro.rtl.sta.FpgaDelayModel` stops being a fair approximation
+#: (real routing delay grows with endpoint count).
+FANOUT_LIMIT = 16
+
+_CONST_OPS = frozenset((Op.CONST0, Op.CONST1))
+
+
+# --------------------------------------------------------------------- #
+# Graph integrity
+# --------------------------------------------------------------------- #
+
+
+def _strongly_connected_components(
+    gates: Dict[str, Gate]
+) -> Iterator[List[str]]:
+    """Iterative Tarjan over the driver graph (edges: gate input -> output).
+
+    Yields only non-trivial SCCs: size > 1, or a single net that drives
+    itself.  Works on arbitrary graphs — this is the one place in the
+    substrate that must not assume acyclicity.
+    """
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = 0
+
+    for root in gates:
+        if root in index:
+            continue
+        # Explicit DFS stack: (net, iterator over successors).
+        work = [(root, iter(gates[root].inputs))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            net, successors = work[-1]
+            advanced = False
+            for src in successors:
+                if src not in gates:
+                    continue  # undriven net: reported by its own rule
+                if src not in index:
+                    index[src] = lowlink[src] = counter
+                    counter += 1
+                    stack.append(src)
+                    on_stack.add(src)
+                    work.append((src, iter(gates[src].inputs)))
+                    advanced = True
+                    break
+                if src in on_stack:
+                    lowlink[net] = min(lowlink[net], index[src])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[net])
+            if lowlink[net] == index[net]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == net:
+                        break
+                if len(component) > 1 or net in gates[net].inputs:
+                    yield component
+
+
+@register_rule(
+    "combinational-loop",
+    Severity.ERROR,
+    "cycle in the gate graph: simulation and STA would not terminate",
+)
+def check_combinational_loop(ctx: LintContext, rule: Rule) -> Iterable[Diagnostic]:
+    for component in _strongly_connected_components(dict(ctx.gates)):
+        members = sorted(component)
+        shown = ", ".join(members[:6]) + (" …" if len(members) > 6 else "")
+        yield ctx.diag(
+            rule,
+            f"combinational loop through {len(members)} net(s): {shown}",
+            net=members[0],
+            nets=members,
+        )
+
+
+@register_rule(
+    "undriven-net",
+    Severity.ERROR,
+    "net referenced as a gate input or output-bus bit but driven by no gate",
+)
+def check_undriven_net(ctx: LintContext, rule: Rule) -> Iterable[Diagnostic]:
+    reported: Set[str] = set()
+    for gate in ctx.gates.values():
+        for src in gate.inputs:
+            if src not in ctx.gates and src not in reported:
+                reported.add(src)
+                yield ctx.diag(
+                    rule,
+                    f"net {src!r} feeds gate {gate.output!r} but has no driver",
+                    net=src,
+                    consumer=gate.output,
+                )
+    for bus, nets in ctx.netlist.output_buses.items():
+        for i, net in enumerate(nets):
+            if net not in ctx.gates and net not in reported:
+                reported.add(net)
+                yield ctx.diag(
+                    rule,
+                    f"output bit {bus}[{i}] references undriven net {net!r}",
+                    net=net,
+                    bus=bus,
+                    bit=i,
+                )
+
+
+@register_rule(
+    "multiply-driven-net",
+    Severity.ERROR,
+    "declared input-bus bit also driven by a logic gate",
+)
+def check_multiply_driven(ctx: LintContext, rule: Rule) -> Iterable[Diagnostic]:
+    # The gates dict allows a single driver per net, so the only expressible
+    # double drive is a logic gate occupying the slot of a declared primary
+    # input bit (the port *and* the gate would both drive it in RTL).
+    for net, (bus, i) in ctx.input_bits.items():
+        gate = ctx.gates.get(net)
+        if gate is not None and gate.op is not Op.INPUT:
+            yield ctx.diag(
+                rule,
+                f"input bit {bus}[{i}] is driven by a {gate.op.value} gate "
+                "in addition to the input port",
+                net=net,
+                op=gate.op.value,
+            )
+
+
+@register_rule(
+    "input-op-misuse",
+    Severity.ERROR,
+    "INPUT-op gate not backed by a declared bus bit, or a declared bit missing",
+)
+def check_input_op_misuse(ctx: LintContext, rule: Rule) -> Iterable[Diagnostic]:
+    for net, gate in ctx.gates.items():
+        if gate.op is Op.INPUT and net not in ctx.input_bits:
+            yield ctx.diag(
+                rule,
+                f"INPUT gate {net!r} does not correspond to any declared "
+                "input-bus bit",
+                net=net,
+            )
+    for net, (bus, i) in ctx.input_bits.items():
+        if net not in ctx.gates:
+            yield ctx.diag(
+                rule,
+                f"input bus {bus!r} declares width "
+                f"{ctx.netlist.input_buses[bus]} but bit {i} has no INPUT "
+                "gate (non-contiguous bus)",
+                net=net,
+                bus=bus,
+                bit=i,
+            )
+
+
+# --------------------------------------------------------------------- #
+# Redundant structure
+# --------------------------------------------------------------------- #
+
+
+@register_rule(
+    "dead-logic",
+    Severity.WARNING,
+    "gate unreachable from every output bus (opt.sweep would delete it)",
+)
+def check_dead_logic(ctx: LintContext, rule: Rule) -> Iterable[Diagnostic]:
+    if not ctx.netlist.output_buses:
+        return  # "no outputs at all" is output-bus-shape's finding
+    live = ctx.live()
+    for net, gate in ctx.gates.items():
+        if gate.is_source or net in live:
+            continue
+        yield ctx.diag(
+            rule,
+            f"{gate.op.value} gate {net!r} drives no output "
+            "(dead logic; sweep would remove it)",
+            net=net,
+            op=gate.op.value,
+        )
+
+
+def _const_value(gate: Gate) -> Optional[int]:
+    if gate.op is Op.CONST0:
+        return 0
+    if gate.op is Op.CONST1:
+        return 1
+    return None
+
+
+def _fold(op: Op, values: List[int]) -> int:
+    if op is Op.BUF:
+        return values[0]
+    if op is Op.NOT:
+        return 1 - values[0]
+    if op is Op.MUX:
+        sel, d0, d1 = values
+        return d1 if sel else d0
+    if op in (Op.AND, Op.NAND):
+        out = int(all(values))
+    elif op in (Op.OR, Op.NOR):
+        out = int(any(values))
+    else:  # XOR / XNOR
+        out = sum(values) & 1
+    if op in (Op.NAND, Op.NOR, Op.XNOR):
+        out = 1 - out
+    return out
+
+
+@register_rule(
+    "constant-fold",
+    Severity.WARNING,
+    "logic gate whose inputs are all constants (foldable at build time)",
+)
+def check_constant_fold(ctx: LintContext, rule: Rule) -> Iterable[Diagnostic]:
+    for net, gate in ctx.gates.items():
+        if gate.is_source or not gate.inputs:
+            continue
+        values = []
+        for src in gate.inputs:
+            driver = ctx.gates.get(src)
+            if driver is None or driver.op not in _CONST_OPS:
+                break
+            values.append(_const_value(driver))
+        else:
+            folds_to = _fold(gate.op, values)
+            yield ctx.diag(
+                rule,
+                f"{gate.op.value} gate {net!r} has only constant inputs; "
+                f"it always evaluates to {folds_to}",
+                net=net,
+                folds_to=folds_to,
+            )
+
+
+@register_rule(
+    "duplicate-gate",
+    Severity.INFO,
+    "structurally identical gates left unshared (strash candidates)",
+)
+def check_duplicate_gate(ctx: LintContext, rule: Rule) -> Iterable[Diagnostic]:
+    # Same key strash uses (identity substitution): op + operand multiset
+    # (commutative ops) + group.  Info severity: builders legitimately defer
+    # sharing to the optimiser, but the count is a useful health signal.
+    from repro.rtl.opt import COMMUTATIVE_OPS
+
+    seen: Dict[Tuple, str] = {}
+    for net, gate in ctx.gates.items():
+        if gate.is_source:
+            continue
+        inputs = (
+            tuple(sorted(gate.inputs))
+            if gate.op in COMMUTATIVE_OPS
+            else gate.inputs
+        )
+        key = (gate.op, inputs, gate.group)
+        first = seen.setdefault(key, net)
+        if first != net:
+            yield ctx.diag(
+                rule,
+                f"{gate.op.value} gate {net!r} duplicates {first!r} "
+                "(strash would share them)",
+                net=net,
+                canonical=first,
+            )
+
+
+# --------------------------------------------------------------------- #
+# Interface shape
+# --------------------------------------------------------------------- #
+
+
+@register_rule(
+    "output-bus-shape",
+    Severity.ERROR,
+    "missing/empty/colliding output buses, or a sum bus of implausible width",
+)
+def check_output_bus_shape(ctx: LintContext, rule: Rule) -> Iterable[Diagnostic]:
+    nl = ctx.netlist
+    if not nl.output_buses:
+        yield ctx.diag(
+            rule, "netlist declares no output buses (nothing is observable)"
+        )
+        return
+    for bus, nets in nl.output_buses.items():
+        if not nets:
+            yield ctx.diag(rule, f"output bus {bus!r} is empty", bus=bus)
+        if bus in nl.input_buses:
+            yield ctx.diag(
+                rule,
+                f"bus name {bus!r} is declared both as input and output",
+                bus=bus,
+            )
+    # Width sanity for the conventional sum bus: every adder in this repo
+    # produces S of width N or N+1 for N-bit operands; anything else is a
+    # mis-wired result vector (e.g. a builder slicing off the wrong bits).
+    if "S" in nl.output_buses and nl.input_buses:
+        operand_width = max(nl.input_buses.values())
+        sum_width = len(nl.output_buses["S"])
+        if not operand_width <= sum_width <= operand_width + 1:
+            yield ctx.diag(
+                rule,
+                f"sum bus S has width {sum_width} for operand width "
+                f"{operand_width} (expected {operand_width} or "
+                f"{operand_width + 1})",
+                severity=Severity.WARNING,
+                bus="S",
+                width=sum_width,
+                operand_width=operand_width,
+            )
+
+
+_BIT_REF_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\[(\d+)\]\Z")
+
+
+@register_rule(
+    "net-name",
+    Severity.ERROR,
+    "net or module name the Verilog emitter cannot render",
+)
+def check_net_name(ctx: LintContext, rule: Rule) -> Iterable[Diagnostic]:
+    name = ctx.netlist.name
+    if not IDENTIFIER_RE.match(name) or name in VERILOG_KEYWORDS:
+        yield ctx.diag(
+            rule,
+            f"module name {name!r} is not a legal Verilog identifier",
+        )
+    for net in ctx.gates:
+        m = _BIT_REF_RE.match(net)
+        if m and m.group(1) in ctx.netlist.input_buses:
+            continue  # emitted as a bus-bit reference, always legal
+        if not IDENTIFIER_RE.match(net):
+            yield ctx.diag(
+                rule,
+                f"net name {net!r} is not emittable as a Verilog identifier",
+                net=net,
+            )
+        elif net in VERILOG_KEYWORDS:
+            yield ctx.diag(
+                rule,
+                f"net name {net!r} collides with a Verilog keyword",
+                net=net,
+            )
+
+
+@register_rule(
+    "fanout-outlier",
+    Severity.INFO,
+    f"net fanout beyond {FANOUT_LIMIT}: flat routing-delay model is optimistic",
+)
+def check_fanout_outlier(ctx: LintContext, rule: Rule) -> Iterable[Diagnostic]:
+    for net, count in sorted(ctx.fanout.items()):
+        if count > FANOUT_LIMIT and net in ctx.gates:
+            yield ctx.diag(
+                rule,
+                f"net {net!r} fans out to {count} gate inputs "
+                f"(> {FANOUT_LIMIT}); the FPGA delay model charges flat "
+                "routing delay and will underestimate this path",
+                net=net,
+                fanout=count,
+                limit=FANOUT_LIMIT,
+            )
+
+
+_GROUP_RE = re.compile(r"\S+\Z")
+
+
+@register_rule(
+    "group-label",
+    Severity.WARNING,
+    "group tags that break delay/area/power attribution or the Verilog round-trip",
+)
+def check_group_label(ctx: LintContext, rule: Rule) -> Iterable[Diagnostic]:
+    for net, gate in ctx.gates.items():
+        if not gate.group:
+            continue
+        if gate.is_source:
+            # Delay/area/power models resolve sources before consulting the
+            # group, so a tag here silently does nothing.
+            yield ctx.diag(
+                rule,
+                f"source gate {net!r} ({gate.op.value}) carries group "
+                f"{gate.group!r}, which no model will ever read",
+                net=net,
+                group=gate.group,
+            )
+        elif not _GROUP_RE.match(gate.group):
+            # The emitter writes "// group:<tag>"; whitespace inside the tag
+            # does not survive parse_verilog, so attribution changes after a
+            # round trip.
+            yield ctx.diag(
+                rule,
+                f"gate {net!r} has group {gate.group!r} containing "
+                "whitespace; the tag will not survive a Verilog round-trip",
+                net=net,
+                group=gate.group,
+            )

@@ -8,11 +8,18 @@ simulator, STA, area estimator and Verilog emitter all consume this class.
 
 from __future__ import annotations
 
+import re
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.rtl.gates import Gate, Op
 from repro.utils.validation import check_pos_int
+
+#: ASCII identifier as accepted by Verilog (and by the emitter): a leading
+#: letter or underscore followed by letters, digits, underscores.  Note that
+#: ``str.isalnum`` is *not* a substitute — it accepts leading digits and
+#: non-ASCII letters, both of which emit invalid Verilog module names.
+IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
 
 
 def bus_net(bus: str, index: int) -> str:
@@ -24,12 +31,16 @@ class Netlist:
     """A combinational netlist with named input/output buses."""
 
     def __init__(self, name: str) -> None:
-        if not name or not name.replace("_", "a").isalnum():
+        if not IDENTIFIER_RE.match(name):
             raise ValueError(f"netlist name must be an identifier, got {name!r}")
         self.name = name
         self.gates: Dict[str, Gate] = {}
         self.input_buses: Dict[str, int] = {}
         self.output_buses: Dict[str, List[str]] = {}
+        #: Optional (line, column) of the source construct that created each
+        #: net; populated by :mod:`repro.rtl.verilog_parser` so that lint
+        #: diagnostics on parsed files can point back into the .v text.
+        self.source_locations: Dict[str, Tuple[int, int]] = {}
         self._uid = 0
 
     # ------------------------------------------------------------------ #
@@ -181,6 +192,17 @@ class Netlist:
             "outputs": sum(len(v) for v in self.output_buses.values()),
             **{f"op_{k}": v for k, v in sorted(by_op.items())},
         }
+
+    def lint(self, **kwargs) -> "object":
+        """Run the static-analysis rules over this netlist.
+
+        Convenience wrapper around :func:`repro.rtl.lint.lint_netlist`;
+        accepts the same keyword arguments and returns a
+        :class:`~repro.rtl.lint.LintReport`.
+        """
+        from repro.rtl.lint import lint_netlist
+
+        return lint_netlist(self, **kwargs)
 
     def input_nets(self, bus: str) -> List[str]:
         """Net names of a declared input bus, LSB first."""

@@ -11,13 +11,47 @@ what the FPGA characterisation applies before area estimation.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Set, Tuple
 
 from repro.rtl.gates import Op
 from repro.rtl.netlist import Netlist
 
 #: Ops whose operand order does not matter.
-_COMMUTATIVE = frozenset((Op.AND, Op.OR, Op.XOR, Op.NAND, Op.NOR, Op.XNOR))
+COMMUTATIVE_OPS = frozenset((Op.AND, Op.OR, Op.XOR, Op.NAND, Op.NOR, Op.XNOR))
+_COMMUTATIVE = COMMUTATIVE_OPS  # backwards-compatible alias
+
+
+def live_nets(netlist: Netlist) -> Set[str]:
+    """Nets transitively reachable from the declared output buses.
+
+    This is the liveness definition used by both :func:`sweep` and the
+    ``dead-logic`` lint rule (:mod:`repro.rtl.lint_rules`), so the two can
+    never disagree about what counts as dead.  Nets referenced but not
+    driven by any gate are included as-is (the lint layer reports those
+    separately as ``undriven-net``).
+    """
+    live: Set[str] = set()
+    stack = list(netlist.output_nets())
+    while stack:
+        net = stack.pop()
+        if net in live:
+            continue
+        live.add(net)
+        gate = netlist.gates.get(net)
+        if gate is not None:
+            stack.extend(gate.inputs)
+    return live
+
+
+def strash_key(gate, replacement: Dict[str, str]) -> Tuple:
+    """Structural-hash key of ``gate`` under an input-net substitution.
+
+    Shared with the ``duplicate-gate`` lint rule so "strash candidate"
+    means exactly "gates :func:`strash` would merge".
+    """
+    inputs = tuple(replacement[n] for n in gate.inputs)
+    key_inputs = tuple(sorted(inputs)) if gate.op in COMMUTATIVE_OPS else inputs
+    return (gate.op, key_inputs, gate.group)
 
 
 def strash(netlist: Netlist) -> Netlist:
@@ -37,8 +71,7 @@ def strash(netlist: Netlist) -> Netlist:
             replacement[gate.output] = gate.output
             continue
         inputs = tuple(replacement[n] for n in gate.inputs)
-        key_inputs = tuple(sorted(inputs)) if gate.op in _COMMUTATIVE else inputs
-        key = (gate.op, key_inputs, gate.group)
+        key = strash_key(gate, replacement)
         if key in cache:
             replacement[gate.output] = cache[key]
             continue
@@ -58,14 +91,7 @@ def strash(netlist: Netlist) -> Netlist:
 
 def sweep(netlist: Netlist) -> Netlist:
     """Remove gates that do not (transitively) drive any output net."""
-    live = set()
-    stack = list(netlist.output_nets())
-    while stack:
-        net = stack.pop()
-        if net in live:
-            continue
-        live.add(net)
-        stack.extend(netlist.gates[net].inputs)
+    live = live_nets(netlist)
 
     result = Netlist(netlist.name)
     for bus, width in netlist.input_buses.items():

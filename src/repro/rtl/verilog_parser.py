@@ -18,13 +18,19 @@ Grammar (whitespace/comments insignificant)::
 The result is rebuilt into a :class:`~repro.rtl.netlist.Netlist`, so a
 round-trip ``parse_verilog(to_verilog(nl))`` can be simulated and checked
 for bit-exact equivalence against the original.
+
+Every token carries its (line, column) position; syntax errors report the
+offending location, and each net created while parsing is recorded in
+``Netlist.source_locations`` so lint diagnostics on parsed files can point
+back into the ``.v`` text.
 """
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.rtl.gates import Op
 from repro.rtl.netlist import Netlist
@@ -43,57 +49,95 @@ _KEYWORDS = frozenset({"module", "endmodule", "input", "output", "wire", "assign
 
 
 class VerilogSyntaxError(ValueError):
-    """Raised when the source does not conform to the emitted subset."""
+    """Raised when the source does not conform to the emitted subset.
+
+    Attributes ``line`` and ``column`` carry the 1-based source position of
+    the offending token when it is known, ``None`` otherwise.
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None,
+                 column: Optional[int] = None) -> None:
+        if line is not None:
+            message = f"line {line}, col {column}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class Token(NamedTuple):
+    """One lexed token with its 1-based source position."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
 
 
 class _Tokens:
     def __init__(self, source: str) -> None:
-        self.items: List[Tuple[str, str]] = []
+        # Offsets of line starts, for offset -> (line, col) translation.
+        self._line_starts = [0]
+        for m in re.finditer(r"\n", source):
+            self._line_starts.append(m.end())
+        self.items: List[Token] = []
         pos = 0
         while pos < len(source):
             m = _TOKEN_RE.match(source, pos)
             if m is None:
-                if source[pos:].strip():
+                rest = source[pos:].strip()
+                if rest:
+                    offset = pos + source[pos:].index(rest[0])
+                    line, col = self._locate(offset)
                     raise VerilogSyntaxError(
-                        f"unexpected character {source[pos]!r} at offset {pos}"
+                        f"unexpected character {rest[0]!r}", line, col
                     )
                 break
             pos = m.end()
             kind = m.lastgroup
             if kind is None:
                 continue
+            line, col = self._locate(m.start(kind))
             if kind == "comment":
                 # Only structured group tags are kept; prose comments drop.
                 text = m.group(kind)[2:].strip()
                 if text.startswith("group:"):
-                    self.items.append(("group_tag", text[len("group:"):]))
+                    self.items.append(
+                        Token("group_tag", text[len("group:"):], line, col)
+                    )
                 continue
-            self.items.append((kind, m.group(kind)))
+            self.items.append(Token(kind, m.group(kind), line, col))
+        end_line, end_col = self._locate(len(source))
+        self._eof = Token("eof", "", end_line, end_col)
         self.index = 0
 
-    def peek(self) -> Tuple[str, str]:
+    def _locate(self, offset: int) -> Tuple[int, int]:
+        row = bisect.bisect_right(self._line_starts, offset) - 1
+        return row + 1, offset - self._line_starts[row] + 1
+
+    def peek(self) -> Token:
         if self.index >= len(self.items):
-            return ("eof", "")
+            return self._eof
         return self.items[self.index]
 
-    def next(self) -> Tuple[str, str]:
+    def next(self) -> Token:
         tok = self.peek()
         self.index += 1
         return tok
 
     def expect(self, kind: str, value: Optional[str] = None) -> str:
-        got_kind, got_value = self.next()
-        if got_kind != kind or (value is not None and got_value != value):
+        tok = self.next()
+        if tok.kind != kind or (value is not None and tok.value != value):
             raise VerilogSyntaxError(
-                f"expected {value or kind!r}, got {got_value!r} ({got_kind})"
+                f"expected {value or kind!r}, got {tok.value!r} ({tok.kind})",
+                tok.line, tok.column,
             )
-        return got_value
+        return tok.value
 
     def accept(self, kind: str, value: Optional[str] = None) -> Optional[str]:
-        got_kind, got_value = self.peek()
-        if got_kind == kind and (value is None or got_value == value):
+        tok = self.peek()
+        if tok.kind == kind and (value is None or tok.value == value):
             self.index += 1
-            return got_value
+            return tok.value
         return None
 
 
@@ -107,13 +151,36 @@ class _Parser:
         # assigned[name] = net in the netlist providing that wire's value
         self.assigned: Dict[str, str] = {}
         self.declared_wires: set = set()
+        # Location of the statement currently being parsed; every gate the
+        # statement creates is attributed to it in source_locations.
+        self._stmt_loc: Optional[Tuple[int, int]] = None
+
+    def _new_gate(self, op: Op, inputs: Tuple[str, ...]) -> str:
+        assert self.netlist is not None
+        net = self.netlist.add_gate(op, inputs)
+        if self._stmt_loc is not None:
+            self.netlist.source_locations[net] = self._stmt_loc
+        return net
+
+    def _const(self, value: int) -> str:
+        assert self.netlist is not None
+        existed = f"const{value}" in self.netlist.gates
+        net = self.netlist.const(value)
+        if not existed and self._stmt_loc is not None:
+            self.netlist.source_locations[net] = self._stmt_loc
+        return net
 
     # Module structure ---------------------------------------------------
 
     def parse(self) -> Netlist:
         self.tokens.expect("id", "module")
+        name_tok = self.tokens.peek()
         name = self.tokens.expect("id")
-        self.netlist = Netlist(name)
+        try:
+            self.netlist = Netlist(name)
+        except ValueError as exc:
+            raise VerilogSyntaxError(str(exc), name_tok.line,
+                                     name_tok.column) from None
         self.tokens.expect("sym", "(")
         self._parse_portdecl()
         while self.tokens.accept("sym", ","):
@@ -123,44 +190,56 @@ class _Parser:
 
         output_bits: Dict[str, Dict[int, str]] = {b: {} for b in self.output_widths}
         while True:
-            kind, value = self.tokens.peek()
-            if kind == "id" and value == "endmodule":
+            tok = self.tokens.peek()
+            if tok.kind == "id" and tok.value == "endmodule":
                 self.tokens.next()
                 break
-            if kind == "id" and value == "wire":
+            if tok.kind == "id" and tok.value == "wire":
                 self.tokens.next()
                 self._parse_wiredecl()
-            elif kind == "id" and value == "assign":
+            elif tok.kind == "id" and tok.value == "assign":
                 self.tokens.next()
+                self._stmt_loc = (tok.line, tok.column)
                 self._parse_assign(output_bits)
+                self._stmt_loc = None
             else:
-                raise VerilogSyntaxError(f"unexpected token {value!r} in module body")
+                raise VerilogSyntaxError(
+                    f"unexpected token {tok.value!r} in module body",
+                    tok.line, tok.column,
+                )
 
         for bus, width in self.output_widths.items():
             missing = [i for i in range(width) if i not in output_bits[bus]]
             if missing:
                 raise VerilogSyntaxError(f"output {bus} bits never assigned: {missing}")
             self.netlist.set_output_bus(bus, [output_bits[bus][i] for i in range(width)])
-        if self.tokens.peek()[0] != "eof":
-            raise VerilogSyntaxError("trailing tokens after endmodule")
+        tok = self.tokens.peek()
+        if tok.kind != "eof":
+            raise VerilogSyntaxError("trailing tokens after endmodule",
+                                     tok.line, tok.column)
         return self.netlist
 
     def _parse_portdecl(self) -> None:
+        tok = self.tokens.peek()
         direction = self.tokens.expect("id")
         if direction not in ("input", "output"):
-            raise VerilogSyntaxError(f"expected port direction, got {direction!r}")
+            raise VerilogSyntaxError(f"expected port direction, got {direction!r}",
+                                     tok.line, tok.column)
         self.tokens.expect("sym", "[")
         high = int(self.tokens.expect("num"))
         self.tokens.expect("sym", ":")
         low = int(self.tokens.expect("num"))
         self.tokens.expect("sym", "]")
+        name_tok = self.tokens.peek()
         name = self.tokens.expect("id")
         if low != 0:
-            raise VerilogSyntaxError(f"port {name}: only [H:0] ranges supported")
+            raise VerilogSyntaxError(f"port {name}: only [H:0] ranges supported",
+                                     name_tok.line, name_tok.column)
         width = high + 1
         assert self.netlist is not None
         if direction == "input":
-            self.netlist.add_input_bus(name, width)
+            for net in self.netlist.add_input_bus(name, width):
+                self.netlist.source_locations[net] = (tok.line, tok.column)
         else:
             self.output_widths[name] = width
 
@@ -172,6 +251,7 @@ class _Parser:
         self.tokens.expect("sym", ";")
 
     def _parse_assign(self, output_bits: Dict[str, Dict[int, str]]) -> None:
+        name_tok = self.tokens.peek()
         name = self.tokens.expect("id")
         index: Optional[int] = None
         if self.tokens.accept("sym", "["):
@@ -189,17 +269,22 @@ class _Parser:
 
         if name in self.output_widths:
             if index is None:
-                raise VerilogSyntaxError(f"output {name} must be assigned per bit")
+                raise VerilogSyntaxError(f"output {name} must be assigned per bit",
+                                         name_tok.line, name_tok.column)
             if not 0 <= index < self.output_widths[name]:
-                raise VerilogSyntaxError(f"output bit {name}[{index}] out of range")
+                raise VerilogSyntaxError(f"output bit {name}[{index}] out of range",
+                                         name_tok.line, name_tok.column)
             if index in output_bits[name]:
-                raise VerilogSyntaxError(f"output bit {name}[{index}] assigned twice")
+                raise VerilogSyntaxError(f"output bit {name}[{index}] assigned twice",
+                                         name_tok.line, name_tok.column)
             output_bits[name][index] = net
             return
         if index is not None:
-            raise VerilogSyntaxError(f"cannot assign indexed wire {name}[{index}]")
+            raise VerilogSyntaxError(f"cannot assign indexed wire {name}[{index}]",
+                                     name_tok.line, name_tok.column)
         if name in self.assigned:
-            raise VerilogSyntaxError(f"wire {name} assigned twice")
+            raise VerilogSyntaxError(f"wire {name} assigned twice",
+                                     name_tok.line, name_tok.column)
         self.assigned[name] = net
 
     # Expressions ---------------------------------------------------------
@@ -210,8 +295,7 @@ class _Parser:
             d1 = self._parse_expr()
             self.tokens.expect("sym", ":")
             d0 = self._parse_expr()
-            assert self.netlist is not None
-            return self.netlist.add_gate(Op.MUX, (cond, d0, d1))
+            return self._new_gate(Op.MUX, (cond, d0, d1))
         return cond
 
     def _parse_binary(self, symbol: str, op: Op, parse_operand) -> str:
@@ -220,8 +304,7 @@ class _Parser:
             operands.append(parse_operand())
         if len(operands) == 1:
             return operands[0]
-        assert self.netlist is not None
-        return self.netlist.add_gate(op, tuple(operands))
+        return self._new_gate(op, tuple(operands))
 
     def _parse_or(self) -> str:
         return self._parse_binary("|", Op.OR, self._parse_xor)
@@ -235,8 +318,7 @@ class _Parser:
     def _parse_unary(self) -> str:
         if self.tokens.accept("sym", "~"):
             net = self._parse_unary()
-            assert self.netlist is not None
-            return self.netlist.add_gate(Op.NOT, (net,))
+            return self._new_gate(Op.NOT, (net,))
         return self._parse_primary()
 
     def _parse_primary(self) -> str:
@@ -245,30 +327,38 @@ class _Parser:
             net = self._parse_expr()
             self.tokens.expect("sym", ")")
             return net
-        kind, value = self.tokens.peek()
-        if kind == "literal":
+        tok = self.tokens.peek()
+        if tok.kind == "literal":
             self.tokens.next()
-            return self.netlist.const(1 if value.endswith("1") else 0)
+            return self._const(1 if tok.value.endswith("1") else 0)
         name = self.tokens.expect("id")
         if name in _KEYWORDS:
-            raise VerilogSyntaxError(f"keyword {name!r} used as identifier")
+            raise VerilogSyntaxError(f"keyword {name!r} used as identifier",
+                                     tok.line, tok.column)
         if self.tokens.accept("sym", "["):
             index = int(self.tokens.expect("num"))
             self.tokens.expect("sym", "]")
             if name not in self.netlist.input_buses:
-                raise VerilogSyntaxError(f"indexed reference to non-input bus {name!r}")
+                raise VerilogSyntaxError(
+                    f"indexed reference to non-input bus {name!r}",
+                    tok.line, tok.column,
+                )
             if not 0 <= index < self.netlist.input_buses[name]:
-                raise VerilogSyntaxError(f"input bit {name}[{index}] out of range")
+                raise VerilogSyntaxError(f"input bit {name}[{index}] out of range",
+                                         tok.line, tok.column)
             return f"{name}[{index}]"
         if name in self.assigned:
             return self.assigned[name]
-        raise VerilogSyntaxError(f"reference to unassigned wire {name!r}")
+        raise VerilogSyntaxError(f"reference to unassigned wire {name!r}",
+                                 tok.line, tok.column)
 
 
 def parse_verilog(source: str) -> Netlist:
     """Parse a module in the emitted structural subset back to a netlist.
 
     Wires must be assigned before use (the emitter writes assigns in
-    topological order, so this always holds for round-trips).
+    topological order, so this always holds for round-trips).  The returned
+    netlist's ``source_locations`` maps every created net to the (line,
+    column) of the statement that produced it.
     """
     return _Parser(source).parse()

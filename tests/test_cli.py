@@ -91,3 +91,90 @@ class TestCommands:
         assert main(["report", "--quick", "--out", str(target)]) == 0
         assert target.exists()
         assert "# GeAr reproduction report" in target.read_text()
+
+
+class TestLintCommand:
+    def test_clean_builder_exits_zero(self, capsys):
+        assert main(["lint", "rca", "8"]) == 0
+        assert "rca 8: clean" in capsys.readouterr().out
+
+    def test_gear_builder_with_params(self, capsys):
+        assert main(["lint", "gear", "12", "4", "4"]) == 0
+        assert "gear 12 4 4:" in capsys.readouterr().out
+
+    def test_json_output_parses(self, capsys):
+        import json
+
+        assert main(["lint", "gear", "12", "4", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["target"] == "gear 12 4 4"
+        assert "combinational-loop" in payload["rules_run"]
+
+    def test_fail_on_threshold(self, capsys):
+        # CLA legitimately carries duplicate-gate/fanout INFO diagnostics.
+        assert main(["lint", "cla", "16"]) == 0
+        assert main(["lint", "cla", "16", "--fail-on", "info"]) == 1
+        assert main(["lint", "cla", "16", "--fail-on", "never"]) == 0
+
+    def test_suppress_rule(self, capsys):
+        assert main(["lint", "cla", "16", "--fail-on", "info",
+                     "--suppress", "duplicate-gate",
+                     "--suppress", "fanout-outlier"]) == 0
+
+    def test_opt_flag_lints_optimized_netlist(self, capsys):
+        assert main(["lint", "cla", "16", "--opt", "--fail-on", "warning",
+                     "--suppress", "fanout-outlier"]) == 0
+
+    def test_all_matrix(self, capsys):
+        assert main(["lint", "all", "--fail-on", "warning"]) == 0
+        out = capsys.readouterr().out
+        assert "rca 16: clean" in out
+        assert "gear 12 4 4:" in out
+
+    def test_verilog_file_target(self, capsys, tmp_path):
+        main(["verilog", "8", "2", "2"])
+        source = capsys.readouterr().out
+        path = tmp_path / "adder.v"
+        path.write_text(source)
+        assert main(["lint", str(path)]) == 0
+        assert f"{path}:" in capsys.readouterr().out
+
+    def test_verilog_file_with_defect_fails(self, capsys, tmp_path):
+        path = tmp_path / "dead.v"
+        path.write_text(
+            "module m (input [1:0] A, input [1:0] B, output [1:0] S);\n"
+            "  wire d;\n"
+            "  assign d = A[0] & B[0];\n"
+            "  assign S[0] = A[0] ^ B[0];\n"
+            "  assign S[1] = A[1] ^ B[1];\n"
+            "endmodule\n"
+        )
+        assert main(["lint", str(path), "--fail-on", "warning"]) == 1
+        out = capsys.readouterr().out
+        assert "dead-logic" in out
+        assert "line 3" in out
+
+    def test_syntax_error_file_exits_two(self, capsys, tmp_path):
+        path = tmp_path / "broken.v"
+        path.write_text("module m (input [1:0] A@);\n")
+        assert main(["lint", str(path)]) == 2
+        assert "line 1" in capsys.readouterr().err
+
+    def test_unknown_suppress_exits_two(self, capsys):
+        assert main(["lint", "rca", "8", "--suppress", "typo-rule"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_unknown_builder_exits_two(self, capsys):
+        assert main(["lint", "frobnicate", "8"]) == 2
+        assert "unknown builder" in capsys.readouterr().err
+
+    def test_missing_target_exits_two(self, capsys):
+        assert main(["lint"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "combinational-loop" in out
+        assert "dead-logic" in out

@@ -64,6 +64,20 @@ class TestNetlistConstruction:
         with pytest.raises(ValueError):
             Netlist("bad name!")
 
+    def test_leading_digit_name_rejected(self):
+        # Regression: the old str.isalnum check accepted "1bad", which the
+        # Verilog emitter turned into an illegal module name.
+        with pytest.raises(ValueError, match="identifier"):
+            Netlist("1bad")
+
+    def test_non_ascii_name_rejected(self):
+        with pytest.raises(ValueError, match="identifier"):
+            Netlist("addér")
+
+    def test_underscore_names_accepted(self):
+        assert Netlist("_ok1").name == "_ok1"
+        assert Netlist("ok_2_").name == "ok_2_"
+
     def test_output_bus_requires_driven_nets(self):
         nl = Netlist("t")
         with pytest.raises(KeyError):

@@ -173,3 +173,36 @@ class TestParserErrors:
         src = "module t (\n  input  [4:1] A,\n  output [0:0] S\n);\nendmodule\n"
         with pytest.raises(VerilogSyntaxError, match="H:0"):
             parse_verilog(src)
+
+
+class TestSourceLocations:
+    def test_syntax_error_carries_line_and_column(self):
+        src = (
+            "module t (\n  input  [0:0] A,\n  output [0:0] S\n);\n"
+            "  assign S[0] = w;\nendmodule\n"
+        )
+        with pytest.raises(VerilogSyntaxError, match=r"line 5, col 17") as exc:
+            parse_verilog(src)
+        assert exc.value.line == 5
+        assert exc.value.column == 17
+
+    def test_unexpected_character_located(self):
+        with pytest.raises(VerilogSyntaxError, match="line 1, col 11"):
+            parse_verilog("module t (@);")
+
+    def test_every_net_gets_a_location(self):
+        nl = build_rca(4)
+        parsed = parse_verilog(to_verilog(nl))
+        assert set(parsed.source_locations) == set(parsed.gates)
+
+    def test_locations_point_at_statements(self):
+        src = (
+            "module t (input [1:0] A, input [1:0] B, output [1:0] S);\n"
+            "  assign S[0] = A[0] ^ B[0];\n"
+            "  assign S[1] = A[1] ^ B[1];\n"
+            "endmodule\n"
+        )
+        nl = parse_verilog(src)
+        lines = {nl.source_locations[net][0] for net in nl.output_nets()}
+        assert lines == {2, 3}
+        assert nl.source_locations["A[0]"][0] == 1
