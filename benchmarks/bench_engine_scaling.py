@@ -1,0 +1,57 @@
+"""Bench (micro): sharded evaluation engine throughput and scaling.
+
+Not a paper artefact — these time the engine's Monte-Carlo hot path at
+different worker counts and with a warm shard cache, asserting along the
+way the engine's two core guarantees: results are bit-identical at any
+``jobs`` value, and a warm cache serves a repeated request with zero
+shard executions.
+"""
+
+import pytest
+
+from repro.core.gear import GeArAdder, GeArConfig
+from repro.engine import Engine, EvalRequest
+
+SAMPLES = 200_000
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def adder():
+    return GeArAdder(GeArConfig(16, 4, 4))
+
+
+@pytest.fixture(scope="module")
+def reference_stats(adder):
+    result = Engine(jobs=1).evaluate(
+        EvalRequest(adder=adder, samples=SAMPLES, seed=SEED)
+    )
+    return result.stats
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_engine_monte_carlo_scaling(benchmark, adder, reference_stats, jobs):
+    engine = Engine(jobs=jobs)
+    result = benchmark(
+        engine.evaluate, EvalRequest(adder=adder, samples=SAMPLES, seed=SEED)
+    )
+    assert result.stats == reference_stats
+
+
+def test_engine_warm_cache_throughput(benchmark, adder, reference_stats, tmp_path):
+    request = EvalRequest(adder=adder, samples=SAMPLES, seed=SEED)
+    Engine(jobs=1, cache=tmp_path).evaluate(request)
+
+    warm = Engine(jobs=1, cache=tmp_path)
+    result = benchmark(warm.evaluate, request)
+    assert warm.shards_executed == 0
+    assert result.stats == reference_stats
+
+
+def test_engine_exhaustive_throughput(benchmark, adder):
+    small = GeArAdder(GeArConfig(12, 4, 4))
+    engine = Engine(jobs=1)
+    result = benchmark(
+        engine.evaluate, EvalRequest(adder=small, mode="exhaustive")
+    )
+    assert result.stats.samples == 1 << 24

@@ -2,11 +2,13 @@
 
 Workload: the paper's four (N, R, P) configurations, 10 000 uniform input
 patterns each (§4.4 protocol).  Asserts that the analytic column matches
-the paper to its printed precision.
+the paper to its printed precision, and that a warm shard cache serves
+the whole table with zero simulation work.
 """
 
 import pytest
 
+from repro.engine import Engine
 from repro.experiments.table3 import render_table3, run_table3
 
 
@@ -18,3 +20,16 @@ def test_table3_error_probability(benchmark, archive):
                                                  abs=5e-3)
         # Simulated column consistent with the model at 10k samples.
         assert abs(row.simulated_pct - row.analytic_pct) < 0.5
+
+
+def test_table3_warm_cache_does_zero_simulation(benchmark, tmp_path):
+    cold = Engine(jobs=1, cache=tmp_path)
+    reference = run_table3(engine=cold)
+    assert cold.shards_executed > 0 and cold.shards_cached == 0
+
+    warm = Engine(jobs=1, cache=tmp_path)
+    rows = benchmark(run_table3, engine=warm)
+    assert warm.shards_executed == 0, "warm cache must serve every shard"
+    assert warm.shards_cached > 0
+    for got, want in zip(rows, reference):
+        assert got.simulated_pct == want.simulated_pct

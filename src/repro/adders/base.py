@@ -98,6 +98,17 @@ class AdderModel(abc.ABC):
         """Gate-level netlist of this adder, or ``None`` when not modelled."""
         return None
 
+    def fingerprint(self) -> str:
+        """Stable identity string for the engine's shard cache keys.
+
+        Two adders with equal fingerprints must compute identical sums for
+        every operand pair.  The default covers models fully determined by
+        class, width and name; subclasses with extra behavioural state
+        (window layouts, correction masks) must extend it.
+        """
+        return (f"{type(self).__module__}.{type(self).__qualname__}"
+                f":w{self.width}:{self.name}")
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(width={self.width}, name={self.name!r})"
 
@@ -268,3 +279,11 @@ class WindowedSpeculativeAdder(AdderModel):
         the realised worst case can be lower (see tests).
         """
         return sum(1 << w.result_low for w in self.windows[1:] if w.low > 0)
+
+    def fingerprint(self) -> str:
+        """Window geometry fully determines a speculative adder's sums."""
+        layout = ";".join(
+            f"{w.low},{w.high},{w.result_low},{w.result_high}"
+            for w in self.windows
+        )
+        return f"{super().fingerprint()}:[{layout}]"

@@ -1,8 +1,12 @@
-"""CSV export of every reproduced experiment.
+"""CSV/JSON export of every reproduced experiment.
 
 Plotting lives outside this library (no matplotlib dependency); these
 exporters write the exact series each paper figure plots, and each table's
-rows, as plain CSV so any tool can regenerate the visuals.
+rows, as plain CSV so any tool can regenerate the visuals.  Since the
+engine redesign every experiment also implements the unified result
+protocol (``to_json()``), so ``export_all(..., fmt="json")`` — the CLI's
+``gear export --json`` — writes the same artefacts as deterministic JSON
+documents instead.
 
 ``export_all(directory)`` writes one file per artefact and returns the
 paths; the CLI exposes it as ``gear export --dir out/``.
@@ -11,6 +15,7 @@ paths; the CLI exposes it as ``gear export --dir out/``.
 from __future__ import annotations
 
 import csv
+import json
 import pathlib
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -171,11 +176,35 @@ EXPORTERS = {
 }
 
 
+def export_json(directory: PathLike, name: str, engine=None) -> pathlib.Path:
+    """Write one artefact's unified ``to_json()`` document.
+
+    JSON output is deterministic (the result protocol excludes timings and
+    job counts), so a re-export at any ``--jobs`` is byte-identical.
+    """
+    from repro.experiments import EXPERIMENTS
+
+    spec = EXPERIMENTS[name]
+    result = spec.run(engine=engine)
+    path = pathlib.Path(directory) / f"{name}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(result.to_json(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 def export_all(directory: PathLike,
-               artefacts: Optional[Sequence[str]] = None) -> Dict[str, pathlib.Path]:
-    """Write CSVs for the requested artefacts (default: all of them)."""
+               artefacts: Optional[Sequence[str]] = None,
+               fmt: str = "csv",
+               engine=None) -> Dict[str, pathlib.Path]:
+    """Write the requested artefacts (default: all) as CSV or JSON."""
+    if fmt not in ("csv", "json"):
+        raise ValueError(f"unknown export format: {fmt!r} (csv or json)")
     names = list(artefacts) if artefacts is not None else list(EXPORTERS)
     unknown = set(names) - set(EXPORTERS)
     if unknown:
         raise ValueError(f"unknown artefacts: {sorted(unknown)}")
+    if fmt == "json":
+        return {name: export_json(directory, name, engine=engine) for name in names}
     return {name: EXPORTERS[name](directory) for name in names}

@@ -2,7 +2,11 @@
 
 A sweep evaluates every requested configuration with the analytic error
 model plus the FPGA characterisation, yielding the rows that Figs. 1/7/8
-and Tables I/II plot or tabulate.
+and Tables I/II plot or tabulate.  When a ``samples`` budget is given the
+sweep additionally measures each configuration by Monte-Carlo through
+:mod:`repro.engine` — sharded, optionally parallel (``gear sweep
+--jobs N``) and optionally cached (``--cache``), with results guaranteed
+bit-identical at any worker count.
 """
 
 from __future__ import annotations
@@ -14,17 +18,24 @@ from repro.adders.base import AdderModel
 from repro.core.configspace import enumerate_configs
 from repro.core.error_model import (
     error_probability,
-    max_error_distance,
     mean_error_distance_analytic,
     normalized_error_distance_analytic,
 )
 from repro.core.gear import GeArAdder, GeArConfig
 from repro.timing.fpga import AdderCharacterization, characterize
 
+#: Default root seed for measured sweep columns (the paper's year).
+SWEEP_SEED = 2015
+
 
 @dataclass(frozen=True)
 class SweepResult:
-    """One evaluated configuration of a sweep."""
+    """One evaluated configuration of a sweep.
+
+    The ``measured_*`` fields are filled only when the sweep ran with a
+    Monte-Carlo sample budget; they come from the evaluation engine and
+    are deterministic for a given (samples, seed).
+    """
 
     name: str
     r: int
@@ -36,6 +47,10 @@ class SweepResult:
     ned: float
     delay_ns: Optional[float]
     luts: Optional[int]
+    measured_error_rate: Optional[float] = None
+    measured_med: Optional[float] = None
+    measured_ned: Optional[float] = None
+    samples: Optional[int] = None
 
     @property
     def delay_ned_product(self) -> Optional[float]:
@@ -43,6 +58,29 @@ class SweepResult:
         if self.delay_ns is None:
             return None
         return self.delay_ns * 1e-9 * self.ned
+
+    def to_json_row(self) -> dict:
+        """JSON-safe row used by ``gear sweep --json``.
+
+        Deliberately excludes execution details (jobs, timings) so output
+        is byte-identical no matter how the sweep was scheduled.
+        """
+        return {
+            "name": self.name,
+            "r": self.r,
+            "p": self.p,
+            "k": self.k,
+            "error_probability": self.error_probability,
+            "accuracy_pct": self.accuracy_pct,
+            "med": self.med,
+            "ned": self.ned,
+            "delay_ns": self.delay_ns,
+            "luts": self.luts,
+            "measured_error_rate": self.measured_error_rate,
+            "measured_med": self.measured_med,
+            "measured_ned": self.measured_ned,
+            "samples": self.samples,
+        }
 
 
 def _characterize_quietly(adder: AdderModel) -> Optional[AdderCharacterization]:
@@ -52,11 +90,34 @@ def _characterize_quietly(adder: AdderModel) -> Optional[AdderCharacterization]:
         return None
 
 
+def _measure(adder: AdderModel, samples: Optional[int], seed: Optional[int],
+             engine) -> dict:
+    """Engine-backed Monte-Carlo columns (empty when no budget given)."""
+    if not samples:
+        return {}
+    from repro.engine import EvalRequest, evaluate
+
+    stats = evaluate(
+        EvalRequest(adder=adder, mode="monte_carlo", samples=samples,
+                    seed=seed),
+        engine=engine,
+    ).stats
+    return {
+        "measured_error_rate": stats.error_rate,
+        "measured_med": stats.med,
+        "measured_ned": stats.ned,
+        "samples": samples,
+    }
+
+
 def sweep_gear_configs(
     n: int,
     r_values: Optional[Sequence[int]] = None,
     allow_partial: bool = True,
     with_hardware: bool = True,
+    samples: Optional[int] = None,
+    seed: Optional[int] = SWEEP_SEED,
+    engine=None,
 ) -> List[SweepResult]:
     """Evaluate every GeAr configuration of width ``n`` (optionally per R).
 
@@ -65,6 +126,10 @@ def sweep_gear_configs(
         r_values: restrict to these R values (None = all).
         allow_partial: include non-divisible configurations.
         with_hardware: also run netlist characterisation (slower).
+        samples: when given, also measure each configuration by
+            Monte-Carlo through the engine.
+        seed: root seed for the measured columns.
+        engine: :class:`repro.engine.Engine` override (None = default).
     """
     configs: List[GeArConfig] = []
     if r_values is None:
@@ -90,6 +155,7 @@ def sweep_gear_configs(
                 ned=normalized_error_distance_analytic(cfg),
                 delay_ns=char.delay_ns if char else None,
                 luts=char.luts if char else None,
+                **_measure(adder, samples, seed, engine),
             )
         )
     return results
@@ -98,12 +164,16 @@ def sweep_gear_configs(
 def sweep_adder_family(
     adders: Iterable[AdderModel],
     med_fn: Optional[Callable[[AdderModel], float]] = None,
+    samples: Optional[int] = None,
+    seed: Optional[int] = SWEEP_SEED,
+    engine=None,
 ) -> List[SweepResult]:
     """Evaluate a heterogeneous family of adders into comparable rows.
 
     ``med_fn`` supplies a mean-error-distance estimate for adders without a
     GeAr-expressible config (e.g. a Monte-Carlo closure); when absent, MED
-    and NED report as NaN for such adders.
+    and NED report as NaN for such adders.  A ``samples`` budget adds
+    engine-measured columns exactly as in :func:`sweep_gear_configs`.
     """
     results: List[SweepResult] = []
     for adder in adders:
@@ -132,6 +202,18 @@ def sweep_adder_family(
                 ned=ned,
                 delay_ns=char.delay_ns if char else None,
                 luts=char.luts if char else None,
+                **_measure(adder, samples, seed, engine),
             )
         )
     return results
+
+
+def sweep_to_json(results: Sequence[SweepResult], n: Optional[int] = None) -> dict:
+    """Deterministic JSON document for a sweep (``gear sweep --json``)."""
+    payload = {
+        "experiment": "sweep",
+        "rows": [res.to_json_row() for res in results],
+    }
+    if n is not None:
+        payload["n"] = n
+    return payload

@@ -7,16 +7,26 @@ Commands mirror the paper's artefacts::
     gear verilog 12 4 4       # emit synthesizable structural Verilog
     gear table1 | table2 | table3 | table4
     gear fig1 | fig7 | fig8 | fig9
+    gear experiment <name>    # any artefact by registry name
     gear ablation
+
+Every stochastic subcommand takes ``--samples`` and ``--seed``; every
+subcommand that evaluates through :mod:`repro.engine` additionally takes
+``--jobs N`` (process-parallel shard execution), ``--cache [DIR]``
+(memoise completed shards on disk) and ``--no-cache``.  Results are
+bit-identical at any ``--jobs`` value, and ``--json`` output excludes
+scheduling details, so JSON from ``--jobs 4`` is byte-identical to
+``--jobs 1``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.analysis.sweep import sweep_gear_configs
+from repro.analysis.sweep import sweep_gear_configs, sweep_to_json
 from repro.analysis.tables import format_table
 from repro.core.error_model import (
     error_probability,
@@ -26,6 +36,47 @@ from repro.core.error_model import (
 )
 from repro.core.coverage import classify_config
 from repro.core.gear import GeArAdder, GeArConfig
+
+#: Default root seed for stochastic subcommands (the paper's year).
+DEFAULT_SEED = 2015
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    from repro.engine import DEFAULT_CACHE_DIR
+
+    group = parser.add_argument_group("evaluation engine")
+    group.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for shard execution "
+                       "(results are identical at any value; default: 1)")
+    group.add_argument("--cache", nargs="?", const=DEFAULT_CACHE_DIR,
+                       default=None, metavar="DIR",
+                       help="memoise completed shards on disk "
+                       f"(default dir: {DEFAULT_CACHE_DIR})")
+    group.add_argument("--no-cache", action="store_true",
+                       help="disable the shard cache even if --cache is given")
+
+
+def _add_sampling_flags(parser: argparse.ArgumentParser,
+                        samples_default: Optional[int] = None,
+                        seed_default: Optional[int] = DEFAULT_SEED,
+                        samples_help: str = "Monte-Carlo sample count") -> None:
+    parser.add_argument("--samples", type=int, default=samples_default,
+                        help=samples_help)
+    seed_note = (f"default: {seed_default}" if seed_default is not None
+                 else "default: experiment-specific")
+    parser.add_argument("--seed", type=int, default=seed_default,
+                        help=f"root RNG seed ({seed_note})")
+
+
+def _engine_from_args(args: argparse.Namespace):
+    from repro.engine import Engine
+
+    cache = None if getattr(args, "no_cache", False) else getattr(args, "cache", None)
+    return Engine(jobs=getattr(args, "jobs", 1), cache=cache)
+
+
+def _print_json(payload) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -54,26 +105,40 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    engine = _engine_from_args(args)
     results = sweep_gear_configs(
         args.n,
         r_values=[args.r] if args.r else None,
         with_hardware=not args.no_hardware,
+        samples=args.samples,
+        seed=args.seed,
+        engine=engine,
     )
+    if args.json:
+        _print_json(sweep_to_json(results, args.n))
+        return 0
+    headers = ["config", "k", "accuracy %", "MED", "NED", "delay ns", "LUTs"]
+    rows = [
+        [
+            f"({r.r},{r.p})",
+            r.k,
+            f"{r.accuracy_pct:.4f}",
+            f"{r.med:.3f}",
+            f"{r.ned:.5f}",
+            f"{r.delay_ns:.3f}" if r.delay_ns is not None else None,
+            r.luts,
+        ]
+        for r in results
+    ]
+    if args.samples:
+        headers += ["measured err", "measured MED"]
+        for row, r in zip(rows, results):
+            row.append(f"{r.measured_error_rate:.6f}")
+            row.append(f"{r.measured_med:.3f}")
     print(
         format_table(
-            ["config", "k", "accuracy %", "MED", "NED", "delay ns", "LUTs"],
-            [
-                (
-                    f"({r.r},{r.p})",
-                    r.k,
-                    f"{r.accuracy_pct:.4f}",
-                    f"{r.med:.3f}",
-                    f"{r.ned:.5f}",
-                    f"{r.delay_ns:.3f}" if r.delay_ns is not None else None,
-                    r.luts,
-                )
-                for r in results
-            ],
+            headers,
+            [tuple(row) for row in rows],
             title=f"GeAr design space, N={args.n}",
         )
     )
@@ -96,15 +161,34 @@ def _cmd_verilog(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_experiment(name: str, args: argparse.Namespace) -> int:
+    from repro.engine import use_engine
+    from repro.experiments import EXPERIMENTS
+
+    spec = EXPERIMENTS[name]
+    engine = _engine_from_args(args)
+    with use_engine(engine):
+        result = spec.run(
+            samples=getattr(args, "samples", None),
+            seed=getattr(args, "seed", None),
+            engine=engine,
+        )
+    if getattr(args, "json", False):
+        _print_json(result.to_json())
+    else:
+        print(spec.renderer(result))
+    return 0
+
+
 def _cmd_experiment(name: str):
     def handler(args: argparse.Namespace) -> int:
-        from repro import experiments
-
-        render = getattr(experiments, f"render_{name}")
-        print(render())
-        return 0
+        return _run_experiment(name, args)
 
     return handler
+
+
+def _cmd_experiment_named(args: argparse.Namespace) -> int:
+    return _run_experiment(args.name, args)
 
 
 def _cmd_motivation(args: argparse.Namespace) -> int:
@@ -140,20 +224,27 @@ def _cmd_motivation(args: argparse.Namespace) -> int:
 
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.analysis.export import export_all
+    from repro.engine import use_engine
 
-    paths = export_all(args.dir, artefacts=args.only)
+    engine = _engine_from_args(args)
+    with use_engine(engine):
+        paths = export_all(args.dir, artefacts=args.only,
+                           fmt="json" if args.json else "csv",
+                           engine=engine)
     for name, path in sorted(paths.items()):
         print(f"{name}: {path}")
     return 0
 
 
 def _cmd_spectrum(args: argparse.Namespace) -> int:
+    from repro.engine import use_engine
     from repro.metrics.spectrum import error_spectrum, spectrum_table
 
     strict = (args.n - args.r - args.p) % args.r == 0
     adder = GeArAdder(GeArConfig(args.n, args.r, args.p,
                                  allow_partial=not strict))
-    spec = error_spectrum(adder, samples=args.samples)
+    with use_engine(_engine_from_args(args)):
+        spec = error_spectrum(adder, samples=args.samples, seed=args.seed)
     print(spectrum_table(spec))
     print("\nper-window miss rates and error mass:")
     for i, (rate, mass) in enumerate(
@@ -270,14 +361,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
-    from repro.experiments import (
-        render_correction_policy_ablation,
-        render_distribution_sensitivity_ablation,
-    )
+    from repro.engine import use_engine
+    from repro.experiments import EXPERIMENTS
 
-    print(render_distribution_sensitivity_ablation())
-    print()
-    print(render_correction_policy_ablation())
+    engine = _engine_from_args(args)
+    results = []
+    with use_engine(engine):
+        for name in ("ablation-distributions", "ablation-correction"):
+            spec = EXPERIMENTS[name]
+            results.append(
+                (spec, spec.run(samples=args.samples, seed=args.seed,
+                                engine=engine))
+            )
+    if args.json:
+        _print_json([result.to_json() for _, result in results])
+        return 0
+    print("\n\n".join(spec.renderer(result) for spec, result in results))
     return 0
 
 
@@ -299,6 +398,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--r", type=int, default=None)
     sweep.add_argument("--no-hardware", action="store_true",
                        help="skip netlist characterisation (faster)")
+    sweep.add_argument("--json", action="store_true",
+                       help="deterministic JSON output (identical at any --jobs)")
+    _add_sampling_flags(
+        sweep,
+        samples_help="also measure each configuration by Monte-Carlo "
+        "through the engine",
+    )
+    _add_engine_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     verilog = sub.add_parser("verilog", help="emit structural Verilog")
@@ -308,6 +415,16 @@ def build_parser() -> argparse.ArgumentParser:
     verilog.add_argument("--hierarchical", action="store_true",
                          help="modular RTL (sub-adder module + top)")
     verilog.set_defaults(func=_cmd_verilog)
+
+    from repro.experiments import EXPERIMENTS
+
+    def _add_experiment_flags(cmd: argparse.ArgumentParser, spec) -> None:
+        cmd.add_argument("--json", action="store_true",
+                         help="unified to_json() output "
+                         "(identical at any --jobs)")
+        if "samples" in spec.accepts:
+            _add_sampling_flags(cmd, seed_default=None)
+        _add_engine_flags(cmd)
 
     for name, help_text in [
         ("table1", "Table I — Image Integral accuracy comparison"),
@@ -320,7 +437,24 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig9", "Fig. 9 — per-application timing"),
     ]:
         cmd = sub.add_parser(name, help=help_text)
+        _add_experiment_flags(cmd, EXPERIMENTS[name])
         cmd.set_defaults(func=_cmd_experiment(name))
+
+    experiment = sub.add_parser(
+        "experiment",
+        help="run any registered experiment by name",
+        description="Artefacts: " + ", ".join(
+            f"{name} ({spec.description})" for name, spec in
+            sorted(EXPERIMENTS.items())
+        ),
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--json", action="store_true",
+                            help="unified to_json() output "
+                            "(identical at any --jobs)")
+    _add_sampling_flags(experiment, seed_default=None)
+    _add_engine_flags(experiment)
+    experiment.set_defaults(func=_cmd_experiment_named)
 
     lint = sub.add_parser(
         "lint",
@@ -348,6 +482,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.set_defaults(func=_cmd_lint)
 
     ablation = sub.add_parser("ablation", help="run both ablation studies")
+    ablation.add_argument("--json", action="store_true",
+                          help="unified to_json() output for both studies")
+    _add_sampling_flags(ablation, seed_default=None)
+    _add_engine_flags(ablation)
     ablation.set_defaults(func=_cmd_ablation)
 
     motivation = sub.add_parser(
@@ -355,10 +493,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     motivation.set_defaults(func=_cmd_motivation)
 
-    export = sub.add_parser("export", help="write experiment CSVs for plotting")
+    export = sub.add_parser("export",
+                            help="write experiment CSVs/JSON for plotting")
     export.add_argument("--dir", default="export", help="output directory")
     export.add_argument("--only", nargs="*", default=None,
                         help="artefact ids (fig1 fig7 ... table4)")
+    export.add_argument("--json", action="store_true",
+                        help="write unified to_json() documents instead of CSV")
+    _add_engine_flags(export)
     export.set_defaults(func=_cmd_export)
 
     spectrum = sub.add_parser("spectrum",
@@ -366,7 +508,8 @@ def build_parser() -> argparse.ArgumentParser:
     spectrum.add_argument("n", type=int)
     spectrum.add_argument("r", type=int)
     spectrum.add_argument("p", type=int)
-    spectrum.add_argument("--samples", type=int, default=100_000)
+    _add_sampling_flags(spectrum, samples_default=100_000)
+    _add_engine_flags(spectrum)
     spectrum.set_defaults(func=_cmd_spectrum)
 
     report = sub.add_parser("report",

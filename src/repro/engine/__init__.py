@@ -1,0 +1,59 @@
+"""Sharded evaluation engine with deterministic seeds and result caching.
+
+The engine is the single execution substrate for every accuracy
+evaluation in the library (see ``docs/engine.md``):
+
+* :class:`EvalRequest` / :class:`EvalResult` — the unified request/result
+  API (``repro.engine.api``),
+* :class:`Engine` — shard planning, serial or multi-process execution,
+  content-addressed shard caching and ordered merging,
+* :func:`evaluate` / :func:`get_default_engine` / :func:`use_engine` —
+  process-default engine plumbing used by the CLI and the legacy
+  ``repro.metrics`` wrappers.
+"""
+
+from repro.engine.api import (
+    METRICS_VERSION,
+    EvalRequest,
+    EvalResult,
+    fingerprint_adder,
+    fingerprint_distribution,
+)
+from repro.engine.cache import DEFAULT_CACHE_DIR, ShardCache
+from repro.engine.core import (
+    Engine,
+    evaluate,
+    get_default_engine,
+    set_default_engine,
+    use_engine,
+)
+from repro.engine.merge import PartialStats, merge_partials
+from repro.engine.planner import (
+    DEFAULT_SHARD_SAMPLES,
+    Shard,
+    plan_exhaustive,
+    plan_fixed,
+    plan_monte_carlo,
+)
+
+__all__ = [
+    "METRICS_VERSION",
+    "EvalRequest",
+    "EvalResult",
+    "fingerprint_adder",
+    "fingerprint_distribution",
+    "DEFAULT_CACHE_DIR",
+    "ShardCache",
+    "Engine",
+    "evaluate",
+    "get_default_engine",
+    "set_default_engine",
+    "use_engine",
+    "PartialStats",
+    "merge_partials",
+    "DEFAULT_SHARD_SAMPLES",
+    "Shard",
+    "plan_exhaustive",
+    "plan_fixed",
+    "plan_monte_carlo",
+]

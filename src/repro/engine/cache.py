@@ -1,0 +1,99 @@
+"""Content-addressed on-disk cache for completed shard partials.
+
+Each cached entry is one shard's :class:`~repro.engine.merge.PartialStats`
+stored as JSON.  The key is the SHA-256 digest of the canonical JSON of
+
+* the request material — metrics version, evaluation mode, adder
+  fingerprint, distribution fingerprint, total samples, MAA thresholds
+  (and, for fixed mode, a content hash of the scored arrays), and
+* the shard material — shard index, start, count, shard granularity and
+  the root seed entropy.
+
+Layout: ``<root>/<digest[:2]>/<digest>.json`` (git-object style fan-out
+so a directory never accumulates millions of entries).  Writes go
+through a temp file + ``os.replace`` so concurrent workers can never
+observe a torn entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Dict, Optional, Union
+
+from repro.engine import api
+from repro.engine.merge import PartialStats
+
+PathLike = Union[str, pathlib.Path]
+
+#: Default cache location used by the CLI's bare ``--cache`` flag.
+DEFAULT_CACHE_DIR = ".gear-cache"
+
+
+class ShardCache:
+    """Content-addressed store of shard partials with hit/miss counters."""
+
+    def __init__(self, root: PathLike = DEFAULT_CACHE_DIR) -> None:
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- keying -------------------------------------------------------------
+
+    @staticmethod
+    def shard_key(request_material: Dict, shard_index: int, start: int,
+                  count: int, shard_samples: int,
+                  entropy: Optional[int]) -> str:
+        """Digest of one shard's full identity."""
+        material = dict(request_material)
+        material.update({
+            "shard": shard_index,
+            "start": start,
+            "count": count,
+            "granularity": shard_samples,
+            "entropy": None if entropy is None else str(entropy),
+        })
+        return api.key_digest(material)
+
+    def _path(self, digest: str) -> pathlib.Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # -- store --------------------------------------------------------------
+
+    def load(self, digest: str) -> Optional[PartialStats]:
+        """Return the cached partial, or None (counts a hit/miss)."""
+        path = self._path(digest)
+        try:
+            payload = json.loads(path.read_text())
+            partial = PartialStats.from_dict(payload["partial"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return partial
+
+    def store(self, digest: str, partial: PartialStats,
+              elapsed_s: float = 0.0) -> None:
+        """Persist one shard partial atomically."""
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": api.METRICS_VERSION,
+            "partial": partial.to_dict(),
+            "elapsed_s": elapsed_s,
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+        self.writes += 1
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ShardCache(root={str(self.root)!r}, hits={self.hits}, "
+                f"misses={self.misses})")

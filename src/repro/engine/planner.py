@@ -1,0 +1,117 @@
+"""Deterministic shard planning.
+
+The plan for a request depends only on the request (never on worker
+count or chunking), which is the engine's determinism guarantee:
+
+* **Monte-Carlo** — samples are split into canonical shards of
+  ``shard_samples`` each; shard ``i`` draws from
+  ``SeedSequence(entropy, spawn_key=(i,))`` where ``entropy`` is the
+  request seed.  The same request therefore produces the same operand
+  stream per shard at any ``jobs``/``chunk`` setting.
+* **Exhaustive** — operand value rows are split into blocks sized so a
+  shard evaluates about :data:`TARGET_PAIRS_PER_SHARD` pairs.
+* **Fixed** — precomputed output arrays are sliced into
+  :data:`FIXED_SHARD_SIZE` element blocks.
+
+``group_shards`` batches shards into executor tasks; grouping affects
+scheduling only, never results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+#: Canonical Monte-Carlo shard size (part of the determinism contract:
+#: changing it changes which RNG stream draws which sample).
+DEFAULT_SHARD_SAMPLES = 1 << 14
+
+#: Pair budget per exhaustive shard (a width-W shard covers
+#: ``max(1, TARGET_PAIRS_PER_SHARD >> W)`` rows of the operand grid).
+TARGET_PAIRS_PER_SHARD = 1 << 20
+
+#: Elements per fixed-mode shard.
+FIXED_SHARD_SIZE = 1 << 18
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independently evaluable unit of an :class:`EvalRequest`.
+
+    ``start``/``count`` are samples for Monte-Carlo and fixed mode, and
+    operand-grid rows for exhaustive mode.  ``entropy`` is the root seed
+    material shared by every shard of a Monte-Carlo plan; the shard's own
+    stream is ``SeedSequence(entropy, spawn_key=(index,))``.
+    """
+
+    index: int
+    start: int
+    count: int
+    entropy: Optional[int] = None
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        if self.entropy is None:
+            raise ValueError("shard has no RNG entropy (not a Monte-Carlo shard)")
+        return np.random.SeedSequence(self.entropy, spawn_key=(self.index,))
+
+
+def plan_monte_carlo(samples: int, seed: Optional[int],
+                     shard_samples: int = DEFAULT_SHARD_SAMPLES) -> List[Shard]:
+    """Split ``samples`` draws into canonical deterministic shards."""
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+    if shard_samples <= 0:
+        raise ValueError(f"shard_samples must be positive, got {shard_samples}")
+    # SeedSequence(seed) resolves None to fresh OS entropy, exactly like
+    # default_rng(None) did on the legacy path.
+    entropy = np.random.SeedSequence(seed).entropy
+    shards: List[Shard] = []
+    start = 0
+    index = 0
+    while start < samples:
+        count = min(shard_samples, samples - start)
+        shards.append(Shard(index=index, start=start, count=count,
+                            entropy=entropy))
+        start += count
+        index += 1
+    return shards
+
+
+def plan_exhaustive(width: int) -> List[Shard]:
+    """Split the 2^W × 2^W operand grid into canonical row blocks."""
+    size = 1 << width
+    rows_per_shard = max(1, TARGET_PAIRS_PER_SHARD // size)
+    shards: List[Shard] = []
+    index = 0
+    for start in range(0, size, rows_per_shard):
+        shards.append(Shard(index=index, start=start,
+                            count=min(rows_per_shard, size - start)))
+        index += 1
+    return shards
+
+
+def plan_fixed(total: int, shard_size: int = FIXED_SHARD_SIZE) -> List[Shard]:
+    """Slice ``total`` precomputed outputs into canonical blocks."""
+    if total <= 0:
+        raise ValueError(f"total must be positive, got {total}")
+    shards: List[Shard] = []
+    index = 0
+    for start in range(0, total, shard_size):
+        shards.append(Shard(index=index, start=start,
+                            count=min(shard_size, total - start)))
+        index += 1
+    return shards
+
+
+def group_shards(shards: Sequence[Shard],
+                 per_task: int) -> List[List[Shard]]:
+    """Batch shards into executor tasks of at most ``per_task`` shards.
+
+    Purely a scheduling decision — each shard is still evaluated with its
+    own seed stream and merged in index order.
+    """
+    per_task = max(1, per_task)
+    return [list(shards[i:i + per_task])
+            for i in range(0, len(shards), per_task)]

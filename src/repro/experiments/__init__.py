@@ -1,11 +1,21 @@
 """Reproduction of every table and figure in the paper's evaluation.
 
-One module per artefact; each exposes a ``run_*`` function returning
-structured rows plus a ``render_*`` helper that prints the same rows the
-paper reports.  The benchmark harness under ``benchmarks/`` wraps these
-functions in pytest-benchmark; the CLI prints them directly.
+One module per artefact; each exposes a ``run_*`` function returning a
+result container (:class:`~repro.experiments.result.ExperimentResult` or
+:class:`~repro.experiments.result.GroupedExperimentResult` — still a
+plain list/dict to old callers) plus a ``render_*`` helper that prints
+the same rows the paper reports.  The :data:`EXPERIMENTS` registry maps
+artefact names to their runner/renderer so the CLI's ``gear experiment``
+subcommand and the exporter stay declarative.
+
+The benchmark harness under ``benchmarks/`` wraps these functions in
+pytest-benchmark; the CLI prints them directly.
 """
 
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.experiments.result import ExperimentResult, GroupedExperimentResult
 from repro.experiments.fig1 import run_fig1, render_fig1
 from repro.experiments.fig7 import run_fig7, render_fig7
 from repro.experiments.fig8 import run_fig8, render_fig8
@@ -21,7 +31,75 @@ from repro.experiments.ablation import (
     render_correction_policy_ablation,
 )
 
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry binding a runner to its renderer and capabilities.
+
+    ``accepts`` lists the runner keyword arguments the CLI may forward
+    (``samples``/``seed`` for stochastic artefacts, ``engine`` for any
+    artefact that evaluates through :mod:`repro.engine`).
+    """
+
+    name: str
+    runner: Callable[..., object]
+    renderer: Callable[[object], str]
+    description: str
+    accepts: tuple = ()
+
+    def run(self, *, samples: Optional[int] = None, seed: Optional[int] = None,
+            engine=None):
+        kwargs = {}
+        if samples is not None and "samples" in self.accepts:
+            kwargs["samples"] = samples
+        if seed is not None and "seed" in self.accepts:
+            kwargs["seed"] = seed
+        if engine is not None and "engine" in self.accepts:
+            kwargs["engine"] = engine
+        return self.runner(**kwargs)
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in (
+        ExperimentSpec("fig1", run_fig1, render_fig1,
+                       "design-space configurability (N=16)"),
+        ExperimentSpec("fig7", run_fig7, render_fig7,
+                       "accuracy vs previous bits, four R panels"),
+        ExperimentSpec("fig8", run_fig8, render_fig8,
+                       "Delay×NED, GeAr vs GDA (8-bit)",
+                       accepts=("engine",)),
+        ExperimentSpec("fig9", run_fig9, render_fig9,
+                       "execution-time prediction, three applications"),
+        ExperimentSpec("table1", run_table1, render_table1,
+                       "Image Integral accuracy comparison",
+                       accepts=("engine",)),
+        ExperimentSpec("table2", run_table2, render_table2,
+                       "GDA vs GeAr exhaustive NED and hardware cost",
+                       accepts=("engine",)),
+        ExperimentSpec("table3", run_table3, render_table3,
+                       "analytic vs simulated error probability",
+                       accepts=("samples", "seed", "engine")),
+        ExperimentSpec("table4", run_table4, render_table4,
+                       "Image Integral execution-time table"),
+        ExperimentSpec("ablation-distributions",
+                       run_distribution_sensitivity_ablation,
+                       render_distribution_sensitivity_ablation,
+                       "model drift under non-uniform operand distributions",
+                       accepts=("samples", "seed", "engine")),
+        ExperimentSpec("ablation-correction",
+                       run_correction_policy_ablation,
+                       render_correction_policy_ablation,
+                       "selective error-correction policy sweep",
+                       accepts=("samples", "seed")),
+    )
+}
+
 __all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "GroupedExperimentResult",
     "run_fig1",
     "render_fig1",
     "run_fig7",

@@ -32,7 +32,7 @@ from repro.core.error_model import (
     max_error_distance,
 )
 from repro.core.gear import GeArAdder, GeArConfig
-from repro.metrics.simulate import simulate_error_probability
+from repro.experiments.result import ExperimentResult
 from repro.utils.distributions import (
     ExponentialOperands,
     GaussianOperands,
@@ -72,12 +72,31 @@ class DistributionRow:
         return abs(self.model - self.exact_dp) < 1e-12
 
 
+DISTRIBUTION_HEADERS = ("n", "r", "p", "model", "exact_dp", "measured",
+                        "bitwise_predicted")
+
+
+def _distribution_row(row: DistributionRow) -> dict:
+    return {
+        "n": row.n,
+        "r": row.r,
+        "p": row.p,
+        "model": row.model,
+        "exact_dp": row.exact_dp,
+        "measured": dict(row.measured),
+        "bitwise_predicted": dict(row.bitwise_predicted),
+    }
+
+
 def run_distribution_sensitivity_ablation(
     configs: Sequence[Tuple[int, int, int]] = DISTRIBUTION_CONFIGS,
     samples: int = 100_000,
     seed: int = 99,
-) -> List[DistributionRow]:
+    engine=None,
+) -> "ExperimentResult":
     """Model exactness (uniform) and drift under non-uniform operands."""
+    from repro.engine import EvalRequest, evaluate
+
     rows: List[DistributionRow] = []
     for n, r, p in configs:
         strict = (n - r - p) % r == 0
@@ -86,10 +105,11 @@ def run_distribution_sensitivity_ablation(
         measured: Dict[str, float] = {}
         bitwise: Dict[str, float] = {}
         for name, dist in _distributions(n).items():
-            report = simulate_error_probability(
-                adder, samples=samples, seed=seed, distribution=dist
-            )
-            measured[name] = report.measured_error_probability
+            measured[name] = evaluate(
+                EvalRequest(adder=adder, mode="monte_carlo", samples=samples,
+                            seed=seed, distribution=dist),
+                engine=engine,
+            ).stats.error_rate
             bitwise[name] = predict_error_rate(
                 cfg, dist, samples=min(samples, 50_000), seed=seed + 1
             )
@@ -104,7 +124,8 @@ def run_distribution_sensitivity_ablation(
                 bitwise_predicted=bitwise,
             )
         )
-    return rows
+    return ExperimentResult("ablation-distributions", DISTRIBUTION_HEADERS,
+                            rows, _distribution_row)
 
 
 def render_distribution_sensitivity_ablation(rows: Optional[List[DistributionRow]] = None) -> str:
@@ -139,13 +160,27 @@ class CorrectionPolicyRow:
     max_cycles: int
 
 
+CORRECTION_HEADERS = ("enabled_subadders", "residual_error_rate",
+                      "residual_ned", "mean_cycles", "max_cycles")
+
+
+def _correction_row(row: CorrectionPolicyRow) -> dict:
+    return {
+        "enabled_subadders": row.enabled_subadders,
+        "residual_error_rate": row.residual_error_rate,
+        "residual_ned": row.residual_ned,
+        "mean_cycles": row.mean_cycles,
+        "max_cycles": row.max_cycles,
+    }
+
+
 def run_correction_policy_ablation(
     n: int = 16,
     r: int = 2,
     p: int = 2,
     samples: int = 50_000,
     seed: int = 7,
-) -> List[CorrectionPolicyRow]:
+) -> "ExperimentResult":
     """Sweep the §3.3 enable mask from MSB-first 0..k-1 enabled sub-adders.
 
     Enabling from the most significant sub-adder downward is the natural
@@ -179,7 +214,8 @@ def run_correction_policy_ablation(
                 max_cycles=int(cycles.max()),
             )
         )
-    return rows
+    return ExperimentResult("ablation-correction", CORRECTION_HEADERS, rows,
+                            _correction_row)
 
 
 def render_correction_policy_ablation(

@@ -19,10 +19,13 @@ from repro.core.configspace import (
     enumerate_gda_points,
     enumerate_gear_points,
 )
+from repro.experiments.result import ExperimentResult
 
 FIG1_WIDTH = 16
 FIG1_R_VALUES = (2, 4)
 ARCHITECTURES = ("GeAr", "GDA", "ACA-II", "ETAII", "ACA-I")
+
+FIG1_HEADERS = ("r", "architecture", "configs", "p_values")
 
 
 @dataclass(frozen=True)
@@ -32,8 +35,20 @@ class Fig1Panel:
     counts: Dict[str, int]
 
 
+def _panel_rows(panel: Fig1Panel) -> List[dict]:
+    return [
+        {
+            "r": panel.r,
+            "architecture": arch,
+            "configs": panel.counts[arch],
+            "p_values": ",".join(str(p) for p in panel.points_per_architecture[arch]),
+        }
+        for arch in ARCHITECTURES
+    ]
+
+
 def run_fig1(n: int = FIG1_WIDTH,
-             r_values: Sequence[int] = FIG1_R_VALUES) -> List[Fig1Panel]:
+             r_values: Sequence[int] = FIG1_R_VALUES) -> "ExperimentResult":
     panels: List[Fig1Panel] = []
     for r in r_values:
         points = {
@@ -45,7 +60,7 @@ def run_fig1(n: int = FIG1_WIDTH,
         }
         counts = {arch: count_configurations(n, arch, r) for arch in ARCHITECTURES}
         panels.append(Fig1Panel(r=r, points_per_architecture=points, counts=counts))
-    return panels
+    return ExperimentResult("fig1", FIG1_HEADERS, panels, _panel_rows)
 
 
 def render_fig1(panels: Optional[List[Fig1Panel]] = None) -> str:

@@ -14,10 +14,13 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_table
 from repro.core.configspace import enumerate_gda_points, enumerate_gear_points
+from repro.experiments.result import GroupedExperimentResult
 
 #: The paper's four panels.
 FIG7_R_VALUES = (2, 3, 4, 8)
 FIG7_WIDTH = 16
+
+FIG7_HEADERS = ("r", "p", "accuracy_pct", "gear", "gda")
 
 
 @dataclass(frozen=True)
@@ -29,8 +32,18 @@ class Fig7Point:
     gda: bool
 
 
+def _point_row(_r: int, pt: Fig7Point) -> dict:
+    return {
+        "r": pt.r,
+        "p": pt.p,
+        "accuracy_pct": pt.accuracy_pct,
+        "gear": pt.gear,
+        "gda": pt.gda,
+    }
+
+
 def run_fig7(n: int = FIG7_WIDTH,
-             r_values: Sequence[int] = FIG7_R_VALUES) -> Dict[int, List[Fig7Point]]:
+             r_values: Sequence[int] = FIG7_R_VALUES) -> "GroupedExperimentResult":
     """Accuracy series per panel (one entry per R value)."""
     panels: Dict[int, List[Fig7Point]] = {}
     for r in r_values:
@@ -41,7 +54,7 @@ def run_fig7(n: int = FIG7_WIDTH,
             for p, pt in sorted(gear.items())
         ]
         panels[r] = points
-    return panels
+    return GroupedExperimentResult("fig7", FIG7_HEADERS, panels, _point_row)
 
 
 def render_fig7(panels: Optional[Dict[int, List[Fig7Point]]] = None) -> str:

@@ -11,7 +11,11 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.analysis.tables import format_table
+from repro.experiments.result import ExperimentResult
 from repro.experiments.table2 import TABLE2_CONFIGS, Table2Row, run_table2
+
+FIG8_HEADERS = ("r", "p", "gear_delay_ned", "gda_delay_ned", "gear_wins",
+                "improvement")
 
 
 @dataclass(frozen=True)
@@ -33,8 +37,20 @@ class Fig8Point:
         return self.gda_delay_ned / self.gear_delay_ned
 
 
-def run_fig8(rows: Optional[List[Table2Row]] = None) -> List[Fig8Point]:
-    rows = rows if rows is not None else run_table2()
+def _point_row(pt: Fig8Point) -> dict:
+    return {
+        "r": pt.r,
+        "p": pt.p,
+        "gear_delay_ned": pt.gear_delay_ned,
+        "gda_delay_ned": pt.gda_delay_ned,
+        "gear_wins": pt.gear_wins,
+        "improvement": pt.improvement,
+    }
+
+
+def run_fig8(rows: Optional[List[Table2Row]] = None,
+             engine=None) -> "ExperimentResult":
+    rows = rows if rows is not None else run_table2(engine=engine)
     gda = {(r.r, r.p): r for r in rows if r.architecture == "GDA"}
     gear = {(r.r, r.p): r for r in rows if r.architecture == "GeAr"}
     points: List[Fig8Point] = []
@@ -48,7 +64,7 @@ def run_fig8(rows: Optional[List[Table2Row]] = None) -> List[Fig8Point]:
                     gda_delay_ned=gda[key].delay_ned_product,
                 )
             )
-    return points
+    return ExperimentResult("fig8", FIG8_HEADERS, points, _point_row)
 
 
 def render_fig8(points: Optional[List[Fig8Point]] = None) -> str:

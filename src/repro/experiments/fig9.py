@@ -22,9 +22,13 @@ from repro.adders import (
 from repro.analysis.tables import format_table
 from repro.core.error_model import error_probability
 from repro.core.gear import GeArAdder, GeArConfig
+from repro.experiments.result import GroupedExperimentResult
 from repro.paperdata import APPLICATIONS
 from repro.timing.fpga import characterize
 from repro.timing.latency import FULL_HD_PIXELS, ExecutionTiming, execution_timings
+
+FIG9_HEADERS = ("application", "adder", "k", "delay_ns", "error_probability",
+                "approximate_s", "best_s", "average_s", "worst_s")
 
 
 @dataclass(frozen=True)
@@ -49,7 +53,21 @@ def _adders_for(n: int, l: int):
     yield "RCA", RippleCarryAdder(n)
 
 
-def run_fig9(n_ops: int = FULL_HD_PIXELS) -> Dict[str, List[Fig9Row]]:
+def _panel_row(_app: str, row: Fig9Row) -> dict:
+    return {
+        "application": row.application,
+        "adder": row.adder,
+        "k": row.k,
+        "delay_ns": row.delay_ns,
+        "error_probability": row.error_probability,
+        "approximate_s": row.timing.approximate_s,
+        "best_s": row.timing.best_s,
+        "average_s": row.timing.average_s,
+        "worst_s": row.timing.worst_s,
+    }
+
+
+def run_fig9(n_ops: int = FULL_HD_PIXELS) -> "GroupedExperimentResult":
     """Predicted timings per application panel."""
     panels: Dict[str, List[Fig9Row]] = {}
     for app, params in APPLICATIONS.items():
@@ -73,7 +91,7 @@ def run_fig9(n_ops: int = FULL_HD_PIXELS) -> Dict[str, List[Fig9Row]]:
                 )
             )
         panels[app] = rows
-    return panels
+    return GroupedExperimentResult("fig9", FIG9_HEADERS, panels, _panel_row)
 
 
 def render_fig9(panels: Optional[Dict[str, List[Fig9Row]]] = None) -> str:

@@ -33,16 +33,17 @@ from repro.analysis.tables import format_table
 from repro.apps.images import natural_image
 from repro.apps.integral import integral_image_rows, max_row_width
 from repro.core.gear import GeArAdder, GeArConfig
-from repro.metrics.error_metrics import (
-    TABLE1_MAA_THRESHOLDS,
-    ErrorStats,
-    compute_error_stats,
-)
+from repro.experiments.result import ExperimentResult
+from repro.metrics.error_metrics import TABLE1_MAA_THRESHOLDS, ErrorStats
 from repro.paperdata import TABLE1
 from repro.timing.fpga import characterize
 
 TABLE1_WIDTH = 16
 TABLE1_SUB_ADDER_LEN = 8
+
+TABLE1_HEADERS = ("adder", "delay_ns", "luts", "maa_100", "maa_97_5",
+                  "maa_95", "maa_92_5", "maa_90", "acc_amp", "acc_inf",
+                  "med", "ned", "delay_ned")
 
 
 def table1_adders() -> Dict[str, Callable[[], AdderModel]]:
@@ -97,8 +98,34 @@ def default_table1_image(rows: int = 64, seed: int = 42) -> np.ndarray:
     return natural_image(rows, cols, seed=seed)
 
 
-def run_table1(image: Optional[np.ndarray] = None) -> List[Table1Row]:
-    """Evaluate every Table I column on the Image Integral kernel."""
+def _table1_row(row: Table1Row) -> dict:
+    return {
+        "adder": row.name,
+        "delay_ns": row.delay_ns,
+        "luts": row.luts,
+        "maa_100": row.stats.maa(1.0),
+        "maa_97_5": row.stats.maa(0.975),
+        "maa_95": row.stats.maa(0.95),
+        "maa_92_5": row.stats.maa(0.925),
+        "maa_90": row.stats.maa(0.90),
+        "acc_amp": row.stats.acc_amp_avg,
+        "acc_inf": row.stats.acc_inf_avg,
+        "med": row.stats.med,
+        "ned": row.app_ned,
+        "delay_ned": row.delay_ned_product,
+    }
+
+
+def run_table1(image: Optional[np.ndarray] = None, engine=None) -> "ExperimentResult":
+    """Evaluate every Table I column on the Image Integral kernel.
+
+    The application outputs are scored through the engine's ``fixed`` mode:
+    the precomputed approximate/exact integral images are sharded, scored
+    (in parallel when the engine has workers) and merged — numerically
+    identical to the former direct ``compute_error_stats`` call.
+    """
+    from repro.engine import EvalRequest, evaluate
+
     image = image if image is not None else default_table1_image()
     exact = integral_image_rows(image)
     rows: List[Table1Row] = []
@@ -106,12 +133,16 @@ def run_table1(image: Optional[np.ndarray] = None) -> List[Table1Row]:
         adder = make()
         char = characterize(adder)
         approx = integral_image_rows(image, adder)
-        stats = compute_error_stats(
-            adder,
-            maa_thresholds=TABLE1_MAA_THRESHOLDS,
-            exact_reference=exact.ravel(),
-            approx_values=approx.ravel(),
-        )
+        stats = evaluate(
+            EvalRequest(
+                adder=adder,
+                mode="fixed",
+                maa_thresholds=TABLE1_MAA_THRESHOLDS,
+                approx_values=approx.ravel(),
+                exact_reference=exact.ravel(),
+            ),
+            engine=engine,
+        ).stats
         rows.append(
             Table1Row(
                 name=name,
@@ -121,7 +152,7 @@ def run_table1(image: Optional[np.ndarray] = None) -> List[Table1Row]:
                 paper=TABLE1.get(name),
             )
         )
-    return rows
+    return ExperimentResult("table1", TABLE1_HEADERS, rows, _table1_row)
 
 
 def render_table1(rows: Optional[List[Table1Row]] = None) -> str:

@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 from repro.adders.gda import GracefullyDegradingAdder
 from repro.analysis.tables import format_table
 from repro.core.gear import GeArAdder, GeArConfig
+from repro.experiments.result import ExperimentResult
 from repro.metrics.exhaustive import exhaustive_stats
 from repro.paperdata import TABLE2_GDA, TABLE2_GEAR
 from repro.timing.fpga import characterize
@@ -27,6 +28,10 @@ TABLE2_WIDTH = 8
 TABLE2_CONFIGS: Tuple[Tuple[int, int], ...] = (
     (1, 1), (1, 2), (1, 3), (1, 4), (1, 5), (1, 6), (2, 2), (2, 4),
 )
+
+TABLE2_HEADERS = ("architecture", "r", "p", "delay_ns", "paper_delay_ns",
+                  "luts", "paper_luts", "med", "ned_paper_convention",
+                  "paper_ned", "delay_ned")
 
 
 @dataclass(frozen=True)
@@ -49,9 +54,9 @@ class Table2Row:
         return self.delay_ns * 1e-9 * self.ned_paper_convention
 
 
-def _make_row(architecture: str, adder, r: int, p: int, ref) -> Table2Row:
+def _make_row(architecture: str, adder, r: int, p: int, ref, engine=None) -> Table2Row:
     char = characterize(adder)
-    stats = exhaustive_stats(adder)
+    stats = exhaustive_stats(adder, engine=engine)
     return Table2Row(
         architecture=architecture,
         r=r,
@@ -67,25 +72,42 @@ def _make_row(architecture: str, adder, r: int, p: int, ref) -> Table2Row:
     )
 
 
-def _gda_row(r: int, p: int) -> Table2Row:
+def _gda_row(r: int, p: int, engine=None) -> Table2Row:
     adder = GracefullyDegradingAdder(TABLE2_WIDTH, r, p, enforce_multiple=False)
-    return _make_row("GDA", adder, r, p, TABLE2_GDA.get((r, p), {}))
+    return _make_row("GDA", adder, r, p, TABLE2_GDA.get((r, p), {}), engine)
 
 
-def _gear_row(r: int, p: int) -> Table2Row:
+def _gear_row(r: int, p: int, engine=None) -> Table2Row:
     strict = (TABLE2_WIDTH - r - p) % r == 0
     adder = GeArAdder(GeArConfig(TABLE2_WIDTH, r, p, allow_partial=not strict))
-    return _make_row("GeAr", adder, r, p, TABLE2_GEAR.get((r, p), {}))
+    return _make_row("GeAr", adder, r, p, TABLE2_GEAR.get((r, p), {}), engine)
 
 
-def run_table2(configs: Tuple[Tuple[int, int], ...] = TABLE2_CONFIGS) -> List[Table2Row]:
+def _table2_row(row: Table2Row) -> dict:
+    return {
+        "architecture": row.architecture,
+        "r": row.r,
+        "p": row.p,
+        "delay_ns": row.delay_ns,
+        "paper_delay_ns": row.paper_delay_ns,
+        "luts": row.luts,
+        "paper_luts": row.paper_luts,
+        "med": row.med,
+        "ned_paper_convention": row.ned_paper_convention,
+        "paper_ned": row.paper_ned,
+        "delay_ned": row.delay_ned_product,
+    }
+
+
+def run_table2(configs: Tuple[Tuple[int, int], ...] = TABLE2_CONFIGS,
+               engine=None) -> "ExperimentResult":
     """Every GDA and GeAr row of Table II."""
     rows: List[Table2Row] = []
     for r, p in configs:
-        rows.append(_gda_row(r, p))
+        rows.append(_gda_row(r, p, engine))
     for r, p in configs:
-        rows.append(_gear_row(r, p))
-    return rows
+        rows.append(_gear_row(r, p, engine))
+    return ExperimentResult("table2", TABLE2_HEADERS, rows, _table2_row)
 
 
 def render_table2(rows: Optional[List[Table2Row]] = None) -> str:

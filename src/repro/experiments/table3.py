@@ -14,8 +14,13 @@ from typing import List, Optional
 from repro.analysis.tables import format_table
 from repro.core.error_model import error_probability, error_probability_exact
 from repro.core.gear import GeArAdder, GeArConfig
-from repro.metrics.simulate import PAPER_SAMPLE_COUNT, simulate_error_probability
+from repro.experiments.result import ExperimentResult
+from repro.metrics.simulate import PAPER_SAMPLE_COUNT
 from repro.paperdata import TABLE3_ERROR_PROBABILITY
+
+TABLE3_HEADERS = ("n", "r", "p", "k", "analytic_pct", "exact_pct",
+                  "simulated_pct", "samples", "consistent",
+                  "paper_analytic_pct", "paper_simulated_pct")
 
 
 @dataclass(frozen=True)
@@ -41,13 +46,36 @@ class Table3Row:
         )
 
 
-def run_table3(samples: int = PAPER_SAMPLE_COUNT, seed: int = 2015) -> List[Table3Row]:
+def _table3_row(row: Table3Row) -> dict:
+    return {
+        "n": row.n,
+        "r": row.r,
+        "p": row.p,
+        "k": row.k,
+        "analytic_pct": row.analytic_pct,
+        "exact_pct": row.exact_pct,
+        "simulated_pct": row.simulated_pct,
+        "samples": row.samples,
+        "consistent": row.statistically_consistent,
+        "paper_analytic_pct": row.paper_analytic_pct,
+        "paper_simulated_pct": row.paper_simulated_pct,
+    }
+
+
+def run_table3(samples: int = PAPER_SAMPLE_COUNT, seed: int = 2015,
+               engine=None) -> "ExperimentResult":
     """Reproduce Table III over the paper's four configurations."""
+    from repro.engine import EvalRequest, evaluate
+
     rows: List[Table3Row] = []
     for (n, r, p), ref in TABLE3_ERROR_PROBABILITY.items():
         cfg = GeArConfig(n, r, p, allow_partial=(n - r - p) % r != 0)
         adder = GeArAdder(cfg)
-        sim = simulate_error_probability(adder, samples=samples, seed=seed)
+        measured = evaluate(
+            EvalRequest(adder=adder, mode="monte_carlo", samples=samples,
+                        seed=seed),
+            engine=engine,
+        ).stats.error_rate
         rows.append(
             Table3Row(
                 n=n,
@@ -56,13 +84,13 @@ def run_table3(samples: int = PAPER_SAMPLE_COUNT, seed: int = 2015) -> List[Tabl
                 k=cfg.k,
                 analytic_pct=error_probability(cfg) * 100.0,
                 exact_pct=error_probability_exact(cfg) * 100.0,
-                simulated_pct=sim.measured_error_probability * 100.0,
+                simulated_pct=measured * 100.0,
                 samples=samples,
                 paper_analytic_pct=ref.get("analytic_pct"),
                 paper_simulated_pct=ref.get("simulated_pct"),
             )
         )
-    return rows
+    return ExperimentResult("table3", TABLE3_HEADERS, rows, _table3_row)
 
 
 def render_table3(rows: Optional[List[Table3Row]] = None) -> str:

@@ -27,6 +27,7 @@ from repro.adders import (
 from repro.analysis.tables import format_table
 from repro.core.error_model import error_probability
 from repro.core.gear import GeArAdder, GeArConfig
+from repro.experiments.result import ExperimentResult
 from repro.paperdata import TABLE4_GEAR, TABLE4_OTHERS
 from repro.timing.fpga import characterize
 from repro.timing.latency import FULL_HD_PIXELS, ExecutionTiming, execution_timings
@@ -34,6 +35,10 @@ from repro.timing.latency import FULL_HD_PIXELS, ExecutionTiming, execution_timi
 #: Application parameters (§4.4): Image Integral, N=20, L=10.
 APP_WIDTH = 20
 SUB_ADDER_LEN = 10
+
+TABLE4_HEADERS = ("adder", "k", "delay_ns", "paper_delay_ns",
+                  "error_probability", "approximate_s", "best_s",
+                  "average_s", "worst_s")
 
 
 @dataclass(frozen=True)
@@ -116,9 +121,26 @@ def _baseline_rows(n_ops: int) -> List[Table4Row]:
     return rows
 
 
-def run_table4(n_ops: int = FULL_HD_PIXELS) -> List[Table4Row]:
+def _table4_row(row: Table4Row) -> dict:
+    return {
+        "adder": row.name,
+        "k": row.k,
+        "delay_ns": row.delay_ns,
+        "paper_delay_ns": row.paper_delay_ns,
+        "error_probability": row.error_probability,
+        "approximate_s": row.timing.approximate_s,
+        "best_s": row.timing.best_s,
+        "average_s": row.timing.average_s,
+        "worst_s": row.timing.worst_s,
+    }
+
+
+def run_table4(n_ops: int = FULL_HD_PIXELS) -> "ExperimentResult":
     """All Table IV rows: GeAr R=1..7 plus the baseline adders."""
-    return _gear_rows(n_ops) + _baseline_rows(n_ops)
+    return ExperimentResult(
+        "table4", TABLE4_HEADERS, _gear_rows(n_ops) + _baseline_rows(n_ops),
+        _table4_row,
+    )
 
 
 def render_table4(rows: Optional[List[Table4Row]] = None) -> str:

@@ -3,33 +3,24 @@
 For widths up to ~12 bits the full 2^{2N} input space is tractable; these
 helpers ground-truth the analytic error model and the Monte-Carlo paths
 (every unit test of an invariant ultimately leans on one of these).
+
+Both helpers route through :mod:`repro.engine` since the engine redesign:
+the operand grid is split into canonical row-block shards, evaluated
+serially or in parallel, optionally cached, and merged in shard order.
+``chunk_rows`` survives as an execution-batching hint — it groups shards
+into worker tasks and never changes the result.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence, Tuple
-
-import numpy as np
+from typing import Optional, Sequence
 
 from repro.adders.base import AdderModel
-from repro.metrics.error_metrics import (
-    TABLE1_MAA_THRESHOLDS,
-    ErrorStats,
-    compute_error_stats,
-)
+from repro.metrics.error_metrics import TABLE1_MAA_THRESHOLDS, ErrorStats
+from repro.utils.validation import check_pos_int
 
 #: Widths above this raise instead of silently grinding for hours.
 MAX_EXHAUSTIVE_WIDTH = 14
-
-
-def _all_pairs(width: int, chunk_rows: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
-    size = 1 << width
-    values = np.arange(size, dtype=np.int64)
-    for start in range(0, size, chunk_rows):
-        rows = values[start : start + chunk_rows]
-        a = np.repeat(rows, size)
-        b = np.tile(values, len(rows))
-        yield a, b
 
 
 def _check_width(width: int) -> None:
@@ -40,56 +31,24 @@ def _check_width(width: int) -> None:
         )
 
 
-def exhaustive_error_probability(adder: AdderModel, chunk_rows: int = 256) -> float:
-    """Exact fraction of operand pairs the adder gets wrong."""
-    _check_width(adder.width)
-    errors = 0
-    total = 0
-    for a, b in _all_pairs(adder.width, chunk_rows):
-        errors += int(np.count_nonzero(adder.add(a, b) != (a + b)))
-        total += a.size
-    return errors / total
-
-
 def exhaustive_stats(
     adder: AdderModel,
     maa_thresholds: Sequence[float] = TABLE1_MAA_THRESHOLDS,
     chunk_rows: int = 256,
+    engine: Optional["object"] = None,
 ) -> ErrorStats:
     """Full :class:`ErrorStats` over the complete input space."""
+    check_pos_int("chunk_rows", chunk_rows)
     _check_width(adder.width)
-    size = 1 << adder.width
-    total = size * size
-    sum_ed = 0.0
-    sum_red = 0.0
-    sum_amp = 0.0
-    sum_inf = 0.0
-    err_count = 0
-    max_ed = 0
-    hits = {t: 0.0 for t in maa_thresholds}
-    bound = None
-    for a, b in _all_pairs(adder.width, chunk_rows):
-        stats = compute_error_stats(adder, a, b, maa_thresholds=maa_thresholds)
-        n = a.size
-        sum_ed += stats.med * n
-        sum_red += stats.mred * n
-        sum_amp += stats.acc_amp_avg * n
-        sum_inf += stats.acc_inf_avg * n
-        err_count += int(round(stats.error_rate * n))
-        max_ed = max(max_ed, stats.max_ed_observed)
-        for t in maa_thresholds:
-            hits[t] += stats.maa_acceptance[t] / 100.0 * n
-        bound = stats.max_ed_bound
-    d_max = bound if bound else (1 << adder.width)
-    return ErrorStats(
-        samples=total,
-        error_rate=err_count / total,
-        med=sum_ed / total,
-        ned=(sum_ed / total) / d_max,
-        mred=sum_red / total,
-        max_ed_observed=max_ed,
-        max_ed_bound=bound,
-        acc_amp_avg=sum_amp / total,
-        acc_inf_avg=sum_inf / total,
-        maa_acceptance={t: hits[t] / total * 100.0 for t in maa_thresholds},
-    )
+    from repro.engine import EvalRequest, evaluate
+
+    return evaluate(
+        EvalRequest(adder=adder, mode="exhaustive",
+                    maa_thresholds=tuple(maa_thresholds), chunk=chunk_rows),
+        engine=engine,
+    ).stats
+
+
+def exhaustive_error_probability(adder: AdderModel, chunk_rows: int = 256) -> float:
+    """Exact fraction of operand pairs the adder gets wrong."""
+    return exhaustive_stats(adder, chunk_rows=chunk_rows).error_rate

@@ -1,26 +1,25 @@
 """Monte-Carlo evaluation harness (the paper's §4.4 simulation protocol).
 
 The paper verifies its error model by simulating 10 000 uniformly random
-input patterns per configuration (Table III).  :func:`simulate_error_probability`
-reproduces exactly that protocol; :func:`monte_carlo_stats` generalises it
-to every metric and any operand distribution, with chunking so that very
-large sample counts stay within memory.
+input patterns per configuration (Table III).  Since the engine redesign
+these helpers are thin, *deprecated* wrappers over
+:mod:`repro.engine` — build an :class:`~repro.engine.EvalRequest` and call
+:func:`repro.engine.evaluate` (or an :class:`~repro.engine.Engine`
+directly) in new code.  The wrappers keep their historical signatures and
+now inherit the engine's guarantees: per-shard seed streams spawned with
+``numpy.random.SeedSequence``, so results are bit-identical at any worker
+count and chunking.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import numpy as np
-
 from repro.adders.base import AdderModel
-from repro.metrics.error_metrics import (
-    TABLE1_MAA_THRESHOLDS,
-    ErrorStats,
-    compute_error_stats,
-)
-from repro.utils.distributions import OperandDistribution, UniformOperands
+from repro.metrics.error_metrics import TABLE1_MAA_THRESHOLDS, ErrorStats
+from repro.utils.distributions import OperandDistribution
 from repro.utils.validation import check_pos_int
 
 #: Sample count used by the paper for Table III.
@@ -43,6 +42,14 @@ class SimulationReport:
         return abs(self.measured_error_probability - self.analytic_error_probability)
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is a deprecated alias; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def simulate_error_probability(
     adder: AdderModel,
     samples: int = PAPER_SAMPLE_COUNT,
@@ -51,20 +58,23 @@ def simulate_error_probability(
 ) -> SimulationReport:
     """Fraction of erroneous additions over random operands (Table III).
 
-    Args:
-        adder: adder under test.
-        samples: input patterns to draw (paper: 10 000).
-        seed: RNG seed; the default pins the paper-reproduction runs.
-        distribution: operand distribution (default: uniform, as in §4.4).
+    .. deprecated:: route new code through :func:`repro.engine.evaluate`
+       with ``mode="monte_carlo"``; this wrapper remains for callers of
+       the historical signature.
     """
+    _deprecated("simulate_error_probability",
+                "repro.engine.evaluate(EvalRequest(mode='monte_carlo'))")
     check_pos_int("samples", samples)
-    dist = distribution or UniformOperands(adder.width)
-    a, b = dist.sample_pairs(samples, seed=seed)
-    errors = adder.add(a, b) != adder.add_exact(a, b)
+    from repro.engine import EvalRequest, evaluate
+
+    result = evaluate(EvalRequest(
+        adder=adder, mode="monte_carlo", samples=samples, seed=seed,
+        distribution=distribution,
+    ))
     return SimulationReport(
         adder_name=adder.name,
         samples=samples,
-        measured_error_probability=float(np.mean(errors)),
+        measured_error_probability=result.stats.error_rate,
         analytic_error_probability=adder.error_probability(),
     )
 
@@ -77,53 +87,21 @@ def monte_carlo_stats(
     maa_thresholds: Sequence[float] = TABLE1_MAA_THRESHOLDS,
     chunk: int = 1 << 20,
 ) -> ErrorStats:
-    """Full :class:`ErrorStats` over random operands, chunked for memory."""
+    """Full :class:`ErrorStats` over random operands.
+
+    .. deprecated:: route new code through :func:`repro.engine.evaluate`;
+       ``chunk`` is now an execution-batching hint only and never changes
+       the result (shard granularity is the engine's canonical
+       ``shard_samples``).
+    """
+    _deprecated("monte_carlo_stats",
+                "repro.engine.evaluate(EvalRequest(mode='monte_carlo'))")
     check_pos_int("samples", samples)
     check_pos_int("chunk", chunk)
-    dist = distribution or UniformOperands(adder.width)
-    rng = np.random.default_rng(seed)
+    from repro.engine import EvalRequest, evaluate
 
-    if samples <= chunk:
-        a, b = dist.sample(samples, rng)
-        return compute_error_stats(adder, a, b, maa_thresholds=maa_thresholds)
-
-    # Streaming accumulation for large runs.
-    remaining = samples
-    total = 0
-    bound = None
-    sum_ed = 0.0
-    sum_red = 0.0
-    sum_amp = 0.0
-    sum_inf = 0.0
-    err_count = 0
-    max_ed = 0
-    amp_hits = {t: 0 for t in maa_thresholds}
-    while remaining > 0:
-        n = min(chunk, remaining)
-        remaining -= n
-        a, b = dist.sample(n, rng)
-        stats = compute_error_stats(adder, a, b, maa_thresholds=maa_thresholds)
-        sum_ed += stats.med * n
-        sum_red += stats.mred * n
-        sum_amp += stats.acc_amp_avg * n
-        sum_inf += stats.acc_inf_avg * n
-        err_count += int(round(stats.error_rate * n))
-        max_ed = max(max_ed, stats.max_ed_observed)
-        for t in maa_thresholds:
-            amp_hits[t] += stats.maa_acceptance[t] / 100.0 * n
-        total += n
-        bound = stats.max_ed_bound
-
-    d_max = bound if bound else (1 << adder.width)
-    return ErrorStats(
-        samples=total,
-        error_rate=err_count / total,
-        med=sum_ed / total,
-        ned=(sum_ed / total) / d_max,
-        mred=sum_red / total,
-        max_ed_observed=max_ed,
-        max_ed_bound=bound,
-        acc_amp_avg=sum_amp / total,
-        acc_inf_avg=sum_inf / total,
-        maa_acceptance={t: amp_hits[t] / total * 100.0 for t in maa_thresholds},
-    )
+    return evaluate(EvalRequest(
+        adder=adder, mode="monte_carlo", samples=samples, seed=seed,
+        distribution=distribution, maa_thresholds=tuple(maa_thresholds),
+        chunk=chunk,
+    )).stats

@@ -39,6 +39,20 @@ class OperandDistribution(abc.ABC):
             raise AssertionError("distribution produced out-of-range operands")
         return a, b
 
+    def fingerprint(self) -> str:
+        """Stable identity string for the engine's shard cache keys.
+
+        Covers the class, the width and every scalar constructor parameter
+        stored on the instance; distributions carrying array state (e.g.
+        :class:`ImagePatchOperands`) extend it with a content hash.
+        """
+        scalars = {
+            k: v for k, v in sorted(vars(self).items())
+            if isinstance(v, (int, float, str, bool))
+        }
+        params = ",".join(f"{k}={v!r}" for k, v in scalars.items())
+        return f"{type(self).__module__}.{type(self).__qualname__}({params})"
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(width={self.width})"
 
@@ -145,6 +159,14 @@ class ImagePatchOperands(OperandDistribution):
         if image.min() < 0 or image.max() > mask(width):
             raise ValueError(f"image values must fit in {width} bits")
         self.image = image.astype(np.int64)
+
+    def fingerprint(self) -> str:
+        import hashlib
+
+        digest = hashlib.sha256(
+            np.ascontiguousarray(self.image).tobytes()
+        ).hexdigest()[:16]
+        return f"{super().fingerprint()}:image={digest}"
 
     def sample(self, count: int, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
         rows, cols = self.image.shape

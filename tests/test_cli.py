@@ -93,6 +93,74 @@ class TestCommands:
         assert "# GeAr reproduction report" in target.read_text()
 
 
+class TestEngineFlags:
+    def test_sweep_measured_columns(self, capsys):
+        assert main(["sweep", "10", "--r", "2", "--no-hardware",
+                     "--samples", "4000", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "measured err" in out
+
+    def test_sweep_json_identical_across_jobs(self, capsys):
+        argv = ["sweep", "10", "--r", "4", "--no-hardware",
+                "--samples", "8000", "--json"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_sweep_json_shape(self, capsys):
+        import json
+
+        assert main(["sweep", "10", "--r", "4", "--no-hardware",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "sweep"
+        assert payload["n"] == 10
+        assert payload["rows"][0]["measured_error_rate"] is None
+
+    def test_sweep_cache_flag_populates_dir(self, capsys, tmp_path):
+        cache = tmp_path / "shards"
+        assert main(["sweep", "10", "--r", "4", "--no-hardware",
+                     "--samples", "4000", "--cache", str(cache)]) == 0
+        assert any(cache.glob("??/*.json"))
+
+    def test_experiment_subcommand(self, capsys):
+        assert main(["experiment", "fig1"]) == 0
+        assert "configurability" in capsys.readouterr().out
+
+    def test_experiment_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig42"])
+
+    def test_experiment_json(self, capsys):
+        import json
+
+        assert main(["experiment", "table3", "--samples", "2000",
+                     "--seed", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "table3"
+        assert payload["rows"][0]["samples"] == 2000
+
+    def test_table3_alias_has_sampling_flags(self, capsys):
+        assert main(["table3", "--samples", "2000"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_spectrum_seed_flag(self, capsys):
+        assert main(["spectrum", "12", "4", "4", "--samples", "20000",
+                     "--seed", "9"]) == 0
+        assert "Error spectrum" in capsys.readouterr().out
+
+    def test_export_json(self, capsys, tmp_path):
+        import json
+
+        assert main(["export", "--dir", str(tmp_path), "--only", "fig1",
+                     "--json"]) == 0
+        path = tmp_path / "fig1.json"
+        assert path.exists()
+        assert json.loads(path.read_text())["experiment"] == "fig1"
+
+
 class TestLintCommand:
     def test_clean_builder_exits_zero(self, capsys):
         assert main(["lint", "rca", "8"]) == 0
