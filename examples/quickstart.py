@@ -13,7 +13,7 @@ GeAr(12,2,6) from Fig. 4 — through the public API:
 import numpy as np
 
 from repro import ErrorCorrector, GeArAdder, GeArConfig, RippleCarryAdder
-from repro.metrics.simulate import simulate_error_probability
+from repro.engine import EvalRequest, evaluate
 from repro.timing.fpga import characterize
 
 
@@ -43,11 +43,12 @@ def main() -> None:
     print(f"sub-adders corrected: {result.corrections}")
 
     print("\n== Model vs simulation ==")
-    report = simulate_error_probability(fig3, samples=10_000, seed=2015)
+    result = evaluate(EvalRequest(adder=fig3, mode="monte_carlo",
+                                  samples=10_000, seed=2015))
     print(f"measured over 10k uniform patterns: "
-          f"{report.measured_error_probability:.4%}")
+          f"{result.stats.error_rate:.4%}")
     print(f"analytic (Eq. 5-7):                 "
-          f"{report.analytic_error_probability:.4%}")
+          f"{fig3.error_probability():.4%}")
 
     print("\n== Hardware characterisation ==")
     for adder in (fig3, fig4, RippleCarryAdder(12)):

@@ -9,6 +9,7 @@ Commands mirror the paper's artefacts::
     gear fig1 | fig7 | fig8 | fig9
     gear experiment <name>    # any artefact by registry name
     gear ablation
+    gear verify               # cross-layer conformance harness
 
 Every stochastic subcommand takes ``--samples`` and ``--seed``; every
 subcommand that evaluates through :mod:`repro.engine` additionally takes
@@ -360,6 +361,47 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import (
+        LAYERS,
+        VerifyOptions,
+        default_registry,
+        summarize,
+        verify_registry,
+    )
+
+    if args.list_adders:
+        for key, entry in default_registry().items():
+            print(f"{key:14s} {entry.description}")
+        return 0
+
+    try:
+        options = VerifyOptions(
+            width=args.width,
+            layers=tuple(args.layer) if args.layer else LAYERS,
+            seed=args.seed if args.seed is not None else DEFAULT_SEED,
+            samples=args.samples if args.samples else 50_000,
+        )
+        reports = verify_registry(
+            adders=args.adder or None,
+            options=options,
+            engine=_engine_from_args(args),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not reports:
+        print(f"error: no registered adder supports width {args.width}",
+              file=sys.stderr)
+        return 2
+
+    if args.json:
+        _print_json([report.to_json() for report in reports])
+    else:
+        print(summarize(reports))
+    return 0 if all(report.ok for report in reports) else 1
+
+
 def _cmd_ablation(args: argparse.Namespace) -> int:
     from repro.engine import use_engine
     from repro.experiments import EXPERIMENTS
@@ -480,6 +522,32 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="list registered rules and exit")
     lint.set_defaults(func=_cmd_lint)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential conformance check across all model layers",
+        description="Differentially verify every registered adder across "
+        "the behavioural, netlist, Verilog and analytic layers.  Exits 1 "
+        "when any layer disagrees; mismatches are reported with a shrunk "
+        "counterexample.",
+    )
+    verify.add_argument("--adder", action="append", metavar="NAME",
+                        help="registry key to verify (repeatable; "
+                        "default: the full registry)")
+    verify.add_argument("--layer", action="append",
+                        choices=["behavioural", "verilog", "stats", "vector"],
+                        help="layer to run (repeatable; default: all four)")
+    verify.add_argument("--width", type=int, default=8, metavar="N",
+                        help="operand width to verify at (default: 8, "
+                        "exhaustive for the behavioural layer)")
+    verify.add_argument("--json", action="store_true",
+                        help="machine-readable ConformanceReport list")
+    verify.add_argument("--list-adders", action="store_true",
+                        help="list conformance registry entries and exit")
+    _add_sampling_flags(verify, samples_help="Monte-Carlo sample count for "
+                        "the stats layer at widths beyond the exhaustive cap")
+    _add_engine_flags(verify)
+    verify.set_defaults(func=_cmd_verify)
 
     ablation = sub.add_parser("ablation", help="run both ablation studies")
     ablation.add_argument("--json", action="store_true",

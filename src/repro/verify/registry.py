@@ -1,0 +1,145 @@
+"""The conformance model registry: every adder the harness verifies.
+
+Each entry names a *configuration family* — a factory that builds the
+adder at any requested operand width.  Families (rather than fixed
+instances) are what make counterexample shrinking possible: when a layer
+disagrees at width N, the shrinker rebuilds the same family at smaller
+widths to find the narrowest member that still exhibits the divergence.
+
+Widths at which a family is undefined (ETAII needs an even width, GeAr
+needs ``L <= N``, ...) simply raise :class:`ValueError` from the factory;
+callers probe with :meth:`RegisteredAdder.supports`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.adders import (
+    AccuracyConfigurableAdder,
+    AdderModel,
+    AlmostCorrectAdder,
+    CarryLookaheadAdder,
+    CarrySelectAdder,
+    CarrySkipAdder,
+    ErrorTolerantAdderI,
+    ErrorTolerantAdderII,
+    ErrorTolerantAdderIIM,
+    GracefullyDegradingAdder,
+    KoggeStoneAdder,
+    LowerPartOrAdder,
+    RippleCarryAdder,
+)
+from repro.core.gear import GeArAdder, GeArConfig
+
+#: Default operand width for registry-wide conformance runs.  Small enough
+#: that the behavioural-vs-netlist layer is an exhaustive proof (2^16
+#: joint patterns per adder), wide enough that every family has k >= 2
+#: speculative structure where it matters.
+DEFAULT_WIDTH = 8
+
+
+@dataclass(frozen=True)
+class RegisteredAdder:
+    """One conformance target: a named, width-parameterised adder family."""
+
+    key: str
+    description: str
+    build: Callable[[int], AdderModel]
+    min_width: int = 2
+
+    def __call__(self, width: int) -> AdderModel:
+        if width < self.min_width:
+            raise ValueError(
+                f"{self.key} needs width >= {self.min_width}, got {width}"
+            )
+        return self.build(width)
+
+    def supports(self, width: int) -> bool:
+        """Can this family be instantiated at ``width``?"""
+        try:
+            self(width)
+        except (ValueError, TypeError):
+            return False
+        return True
+
+
+def _gear(r: int, p: int) -> Callable[[int], AdderModel]:
+    def build(width: int) -> AdderModel:
+        strict = (width - r - p) % r == 0
+        return GeArAdder(GeArConfig(width, r, p, allow_partial=not strict))
+
+    return build
+
+
+def _registry_entries() -> List[RegisteredAdder]:
+    return [
+        RegisteredAdder("rca", "exact ripple-carry baseline",
+                        lambda w: RippleCarryAdder(w), min_width=1),
+        RegisteredAdder("cla", "exact carry-lookahead baseline",
+                        lambda w: CarryLookaheadAdder(w), min_width=1),
+        RegisteredAdder("ksa", "exact Kogge-Stone parallel prefix",
+                        lambda w: KoggeStoneAdder(w), min_width=1),
+        RegisteredAdder("csla", "exact carry-select, 4-bit blocks",
+                        lambda w: CarrySelectAdder(w, 4), min_width=1),
+        RegisteredAdder("cska", "exact carry-skip, 4-bit blocks",
+                        lambda w: CarrySkipAdder(w, 4), min_width=1),
+        RegisteredAdder("gear_r1p3", "GeAr(N, 1, 3) — ACA-I coverage point",
+                        _gear(1, 3), min_width=5),
+        RegisteredAdder("gear_r2p2", "GeAr(N, 2, 2) — ETAII/ACA-II point",
+                        _gear(2, 2), min_width=6),
+        RegisteredAdder("gear_r2p4", "GeAr(N, 2, 4) — deeper prediction",
+                        _gear(2, 4), min_width=8),
+        RegisteredAdder("aca1_l4", "ACA-I with L=4 sub-adders",
+                        lambda w: AlmostCorrectAdder(w, 4), min_width=5),
+        RegisteredAdder("aca2_l4", "ACA-II with L=4 sub-adders",
+                        lambda w: AccuracyConfigurableAdder(w, 4), min_width=6),
+        RegisteredAdder("etai_half", "ETAI, lower half inaccurate",
+                        lambda w: ErrorTolerantAdderI(w, w // 2), min_width=2),
+        RegisteredAdder("etaii_l4", "ETAII with L=4 windows",
+                        lambda w: ErrorTolerantAdderII(w, 4), min_width=6),
+        RegisteredAdder("etaiim_l4c2", "ETAIIM, L=4, two merged top segments",
+                        lambda w: ErrorTolerantAdderIIM(w, 4, 2), min_width=6),
+        RegisteredAdder("gda_b2c2", "GDA with M_B=2, M_C=2",
+                        lambda w: GracefullyDegradingAdder(w, 2, 2), min_width=4),
+        RegisteredAdder("loa_half", "LOA, lower half approximated",
+                        lambda w: LowerPartOrAdder(w, w // 2), min_width=2),
+    ]
+
+
+def default_registry() -> Dict[str, RegisteredAdder]:
+    """Key-ordered registry of every conformance target."""
+    registry: Dict[str, RegisteredAdder] = {}
+    for entry in _registry_entries():
+        if entry.key in registry:  # pragma: no cover - defensive
+            raise ValueError(f"duplicate registry key {entry.key!r}")
+        registry[entry.key] = entry
+    return registry
+
+
+def registry_adder(key: str, width: int = DEFAULT_WIDTH) -> AdderModel:
+    """Build one registered adder by key (CLI / test convenience)."""
+    registry = default_registry()
+    try:
+        entry = registry[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown adder {key!r}; known: {', '.join(sorted(registry))}"
+        ) from None
+    return entry(width)
+
+
+def select_entries(adders: Optional[List[str]] = None) -> List[RegisteredAdder]:
+    """Resolve a list of registry keys (None = everything) to entries."""
+    registry = default_registry()
+    if not adders:
+        return list(registry.values())
+    selected = []
+    for key in adders:
+        if key not in registry:
+            raise ValueError(
+                f"unknown adder {key!r}; known: {', '.join(sorted(registry))}"
+            )
+        selected.append(registry[key])
+    return selected

@@ -1,0 +1,176 @@
+"""Result types of the conformance harness.
+
+A conformance run produces one :class:`ConformanceReport` per adder, each
+holding one :class:`LayerResult` per verified layer.  The layer vocabulary
+is fixed (:data:`LAYERS`):
+
+* ``behavioural`` — behavioural ``add()`` vs gate-level netlist simulation,
+* ``verilog``     — netlist vs its Verilog emit→parse round-trip,
+* ``stats``       — measured error statistics vs the analytic models,
+* ``vector``      — scalar vs vectorised ``_add_impl`` code paths.
+
+A layer that does not apply to an adder (e.g. ``behavioural`` for a model
+without a netlist) reports ``SKIP`` — skips never fail a run, but they are
+visible in the report so silent coverage gaps cannot hide.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: Canonical layer names, in verification order.
+LAYERS = ("behavioural", "verilog", "stats", "vector")
+
+
+class LayerStatus(enum.Enum):
+    """Outcome of one layer check."""
+
+    PASS = "pass"
+    FAIL = "fail"
+    SKIP = "skip"
+
+    @property
+    def label(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A (shrunk) operand pair witnessing a layer disagreement.
+
+    ``width`` may be smaller than the verified adder's width when the
+    shrinker reproduced the failure on a narrower family member.
+    """
+
+    a: int
+    b: int
+    width: int
+    detail: str = ""
+
+    def to_json(self) -> dict:
+        payload = {"a": self.a, "b": self.b, "width": self.width}
+        if self.detail:
+            payload["detail"] = self.detail
+        return payload
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"a={self.a}, b={self.b} (width {self.width})"
+
+
+@dataclass(frozen=True)
+class LayerResult:
+    """Outcome of one differential check on one adder.
+
+    Attributes:
+        layer: one of :data:`LAYERS`.
+        status: pass / fail / skip.
+        exhaustive: True when every input pattern of the joint space was
+            checked (the result is then a proof, not a sample).
+        vectors: input patterns exercised.
+        message: human-readable explanation (why it failed / was skipped).
+        counterexample: shrunk witness for failures, when one exists.
+        details: layer-specific scalar facts (measured vs analytic values,
+            sub-checks performed, ...); must stay JSON-safe.
+    """
+
+    layer: str
+    status: LayerStatus
+    exhaustive: bool = False
+    vectors: int = 0
+    message: str = ""
+    counterexample: Optional[Counterexample] = None
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.layer not in LAYERS:
+            raise ValueError(f"unknown layer {self.layer!r}; expected one of {LAYERS}")
+
+    def to_json(self) -> dict:
+        payload: Dict[str, object] = {
+            "layer": self.layer,
+            "status": self.status.label,
+            "exhaustive": self.exhaustive,
+            "vectors": self.vectors,
+        }
+        if self.message:
+            payload["message"] = self.message
+        if self.counterexample is not None:
+            payload["counterexample"] = self.counterexample.to_json()
+        if self.details:
+            payload["details"] = dict(self.details)
+        return payload
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """All layer results for one registered adder."""
+
+    key: str
+    adder_name: str
+    width: int
+    fingerprint: str
+    layers: List[LayerResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no layer failed (skips do not fail a report)."""
+        return all(r.status is not LayerStatus.FAIL for r in self.layers)
+
+    @property
+    def failed_layers(self) -> List[LayerResult]:
+        return [r for r in self.layers if r.status is LayerStatus.FAIL]
+
+    def layer(self, name: str) -> LayerResult:
+        for result in self.layers:
+            if result.layer == name:
+                return result
+        raise KeyError(f"report for {self.key!r} has no layer {name!r}")
+
+    def to_json(self) -> dict:
+        return {
+            "adder": self.key,
+            "name": self.adder_name,
+            "width": self.width,
+            "fingerprint": self.fingerprint,
+            "ok": self.ok,
+            "layers": [r.to_json() for r in self.layers],
+        }
+
+
+def summarize(reports: Sequence[ConformanceReport]) -> str:
+    """Text table over a batch of reports (the CLI's default rendering)."""
+    from repro.analysis.tables import format_table
+
+    rows = []
+    for report in reports:
+        cells = [report.key, report.width]
+        for layer in LAYERS:
+            try:
+                result = report.layer(layer)
+            except KeyError:
+                cells.append("-")
+                continue
+            mark = {LayerStatus.PASS: "ok", LayerStatus.FAIL: "FAIL",
+                    LayerStatus.SKIP: "skip"}[result.status]
+            if result.status is LayerStatus.PASS and result.exhaustive:
+                mark = "ok*"
+            cells.append(mark)
+        cells.append("ok" if report.ok else "FAIL")
+        rows.append(tuple(cells))
+    table = format_table(
+        ["adder", "N", *LAYERS, "verdict"], rows,
+        title="cross-layer conformance (* = exhaustive proof)",
+    )
+    failures = [r for r in reports if not r.ok]
+    if not failures:
+        return table
+    lines = [table, ""]
+    for report in failures:
+        for result in report.failed_layers:
+            line = f"FAIL {report.key} [{result.layer}]: {result.message}"
+            if result.counterexample is not None:
+                line += f" — counterexample {result.counterexample}"
+            lines.append(line)
+    return "\n".join(lines)

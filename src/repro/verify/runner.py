@@ -1,0 +1,125 @@
+"""Conformance run orchestration.
+
+:func:`verify_adder` runs the requested layers for one registry entry;
+:func:`verify_registry` sweeps a selection (default: everything) and
+returns one :class:`~repro.verify.report.ConformanceReport` per adder.
+
+Parallelism and caching ride on :class:`repro.engine.Engine`: the stats
+layer evaluates through the engine, so ``jobs``/``cache`` settings give
+multi-process shard execution and warm-start reuse exactly as every other
+evaluation in the library.  The stimulus set is shared across the
+behavioural and vector layers of one adder, so each run simulates a given
+input space once per layer, not once per sub-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.engine import fingerprint_adder
+from repro.verify.oracles import (
+    MAX_SCALAR_PROBES,
+    STATS_EXHAUSTIVE_WIDTH,
+    check_behavioural,
+    check_stats,
+    check_vector,
+    check_verilog,
+)
+from repro.verify.registry import (
+    DEFAULT_WIDTH,
+    RegisteredAdder,
+    select_entries,
+)
+from repro.verify.report import LAYERS, ConformanceReport, LayerResult
+from repro.verify.vectors import (
+    DEFAULT_RANDOM_VECTORS,
+    MAX_EXHAUSTIVE_BITS,
+    operand_vectors,
+)
+
+
+@dataclass(frozen=True)
+class VerifyOptions:
+    """Tunables of one conformance run (defaults match the CI smoke job)."""
+
+    width: int = DEFAULT_WIDTH
+    layers: Sequence[str] = LAYERS
+    seed: int = 2015
+    samples: int = 50_000
+    random_vectors: int = DEFAULT_RANDOM_VECTORS
+    max_exhaustive_bits: int = MAX_EXHAUSTIVE_BITS
+    stats_exhaustive_cap: int = STATS_EXHAUSTIVE_WIDTH
+    max_scalar: int = MAX_SCALAR_PROBES
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+        unknown = [layer for layer in self.layers if layer not in LAYERS]
+        if unknown:
+            raise ValueError(
+                f"unknown layers {unknown}; expected a subset of {list(LAYERS)}"
+            )
+        object.__setattr__(self, "layers", tuple(self.layers))
+
+
+def verify_adder(entry: RegisteredAdder,
+                 options: Optional[VerifyOptions] = None,
+                 engine=None) -> ConformanceReport:
+    """Run the selected layers for one registered adder family."""
+    options = options or VerifyOptions()
+    model = entry(options.width)
+    vectors = operand_vectors(
+        options.width,
+        max_exhaustive_bits=options.max_exhaustive_bits,
+        random_vectors=options.random_vectors,
+        seed=options.seed,
+    )
+    results: List[LayerResult] = []
+    for layer in options.layers:
+        if layer == "behavioural":
+            results.append(check_behavioural(
+                model, vectors, build=entry, min_width=entry.min_width))
+        elif layer == "verilog":
+            results.append(check_verilog(
+                model, build=entry, min_width=entry.min_width,
+                random_vectors=options.random_vectors, seed=options.seed))
+        elif layer == "stats":
+            results.append(check_stats(
+                model, engine=engine,
+                exhaustive_width_cap=options.stats_exhaustive_cap,
+                samples=options.samples, seed=options.seed))
+        else:
+            results.append(check_vector(
+                model, vectors, build=entry,
+                max_scalar=options.max_scalar, min_width=entry.min_width))
+    return ConformanceReport(
+        key=entry.key,
+        adder_name=model.name,
+        width=options.width,
+        fingerprint=fingerprint_adder(model),
+        layers=results,
+    )
+
+
+def verify_registry(adders: Optional[Iterable[str]] = None,
+                    options: Optional[VerifyOptions] = None,
+                    engine=None) -> List[ConformanceReport]:
+    """Run the conformance harness over a registry selection.
+
+    Args:
+        adders: registry keys to verify (None = the full registry).
+        options: run tunables; ``VerifyOptions()`` when omitted.
+        engine: :class:`repro.engine.Engine` used by the stats layer
+            (None = the process default — serial, uncached).
+
+    Entries whose family is undefined at the requested width (e.g. ETAII
+    at an odd width) are skipped entirely rather than failing the run.
+    """
+    options = options or VerifyOptions()
+    reports: List[ConformanceReport] = []
+    for entry in select_entries(list(adders) if adders is not None else None):
+        if not entry.supports(options.width):
+            continue
+        reports.append(verify_adder(entry, options=options, engine=engine))
+    return reports

@@ -1,0 +1,133 @@
+"""Greedy counterexample shrinking.
+
+When a layer finds a disagreement, the raw witness is usually a noisy
+random pair at full width.  The shrinker reduces it along two axes, in
+order:
+
+1. **width** — rebuild the same adder family at every narrower width
+   (narrowest first) and re-run the check; the first width that still
+   fails wins.  Layers pass a ``find_failure(width)`` callback so each
+   layer keeps its own notion of "check" (netlist simulation, round-trip
+   equivalence, ...).
+2. **operands** — greedily minimise ``(a, b)`` under a per-pair failure
+   predicate: try clearing each set bit (MSB first) and halving each
+   value, restarting whenever a reduction sticks, until a fixpoint.
+
+The result is deterministic for a given predicate and the minimisation is
+local (greedy), which is exactly what debugging wants: tiny witnesses,
+cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.verify.report import Counterexample
+
+#: Per-pair failure predicate: True when (a, b) still exhibits the bug.
+PairPredicate = Callable[[int, int], bool]
+
+#: Width-level probe: a failing pair at that width, or None.
+WidthProbe = Callable[[int], Optional[Tuple[int, int]]]
+
+
+def shrink_operands(fails: PairPredicate, a: int, b: int,
+                    max_steps: int = 10_000) -> Tuple[int, int]:
+    """Greedily minimise a failing operand pair.
+
+    ``fails(a, b)`` must be True for the input pair; the returned pair
+    still satisfies it.  Candidate reductions, tried in order until none
+    applies: clear a set bit of ``a`` (MSB first), clear a set bit of
+    ``b``, halve ``a``, halve ``b``.  Every accepted reduction restarts
+    the scan, so the fixpoint is 1-minimal under these moves.
+    """
+    if not fails(a, b):
+        raise ValueError("shrink_operands needs a failing pair to start from")
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for which in (0, 1):
+            value = a if which == 0 else b
+            candidates = [value & ~(1 << i)
+                          for i in reversed(range(value.bit_length()))]
+            candidates.append(value >> 1)
+            for candidate in candidates:
+                if candidate == value:
+                    continue
+                na, nb = (candidate, b) if which == 0 else (a, candidate)
+                steps += 1
+                if fails(na, nb):
+                    a, b = na, nb
+                    improved = True
+                    break
+            if improved:
+                break
+    return a, b
+
+
+def shrink_width(find_failure: WidthProbe, width: int,
+                 min_width: int = 1) -> Tuple[int, Optional[Tuple[int, int]]]:
+    """Narrowest width (>= ``min_width``) at which the check still fails.
+
+    Probes narrow-to-wide and returns ``(width, pair)`` for the first
+    failing width; falls back to the original width with no pair when no
+    narrower member reproduces (the caller then shrinks at full width).
+    """
+    for candidate in range(min_width, width):
+        try:
+            pair = find_failure(candidate)
+        except (ValueError, TypeError):
+            continue  # family undefined at this width
+        if pair is not None:
+            return candidate, pair
+    return width, None
+
+
+def shrink_counterexample(
+    a: int,
+    b: int,
+    width: int,
+    fails_at: Callable[[int], Optional[PairPredicate]],
+    min_width: int = 1,
+    detail: str = "",
+) -> Counterexample:
+    """Full two-axis shrink to a :class:`Counterexample`.
+
+    Args:
+        a, b: the original failing pair at ``width``.
+        width: width the failure was observed at.
+        fails_at: maps a width to a per-pair predicate for that width, or
+            None when the family cannot be built there.  The predicate for
+            the original width must hold for ``(a, b)``.
+        min_width: smallest width worth probing.
+        detail: free-form annotation copied into the result.
+    """
+
+    def probe(candidate: int) -> Optional[Tuple[int, int]]:
+        predicate = fails_at(candidate)
+        if predicate is None:
+            return None
+        limit = (1 << candidate) - 1
+        # Re-check the original pair masked into range first (cheap and
+        # often still failing), then sweep the small space outright when
+        # the width is tiny.
+        ca, cb = a & limit, b & limit
+        if predicate(ca, cb):
+            return ca, cb
+        if candidate <= 6:
+            for xa in range(limit + 1):
+                for xb in range(limit + 1):
+                    if predicate(xa, xb):
+                        return xa, xb
+        return None
+
+    best_width, pair = shrink_width(probe, width, min_width=min_width)
+    if pair is None:
+        best_width, pair = width, (a, b)
+    predicate = fails_at(best_width)
+    if predicate is None:  # pragma: no cover - probe guarantees buildable
+        return Counterexample(a=pair[0], b=pair[1], width=best_width,
+                              detail=detail)
+    sa, sb = shrink_operands(predicate, pair[0], pair[1])
+    return Counterexample(a=sa, b=sb, width=best_width, detail=detail)

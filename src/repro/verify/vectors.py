@@ -1,0 +1,92 @@
+"""Stimulus generation for the differential layers.
+
+Two regimes, chosen by the size of the joint operand space:
+
+* **exhaustive** — every ``(a, b)`` pair when ``2·N <= max_exhaustive_bits``
+  (the default cap of 20 bits means ~1M pairs, comfortably vectorised);
+  a layer fed this set is *proven*, not sampled.
+* **sampled** — directed corner vectors (carry-chain stressors, alternating
+  patterns, window-boundary hits) plus seeded uniform pairs.
+
+Both regimes return plain ``int64`` arrays so all four layers consume the
+same stimulus verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.bitvec import mask
+
+#: Joint input bits at or below which the full space is enumerated.
+MAX_EXHAUSTIVE_BITS = 20
+
+#: Default random pair count for the sampled regime.
+DEFAULT_RANDOM_VECTORS = 20_000
+
+
+@dataclass(frozen=True)
+class VectorSet:
+    """A batch of operand pairs plus its provenance."""
+
+    a: np.ndarray
+    b: np.ndarray
+    exhaustive: bool
+
+    @property
+    def count(self) -> int:
+        return int(self.a.size)
+
+
+def exhaustive_pairs(width: int) -> Tuple[np.ndarray, np.ndarray]:
+    """All ``2^(2N)`` operand pairs of an N-bit adder."""
+    values = np.arange(1 << width, dtype=np.int64)
+    return np.repeat(values, 1 << width), np.tile(values, 1 << width)
+
+
+def corner_operands(width: int) -> List[int]:
+    """Directed single-operand corner values (0, extremes, bit patterns)."""
+    top = mask(width)
+    alt = sum(1 << i for i in range(0, width, 2))
+    corners = {0, 1, top, top - 1, top >> 1, alt, top ^ alt}
+    for i in range(width):
+        corners.update({1 << i, (1 << i) - 1, top ^ (1 << i)})
+    return sorted(corners)
+
+
+def directed_pairs(width: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Carry-stressing operand pairs every speculative adder must survive.
+
+    Covers the full cross product of the corner values — ``(2^i - 1, 1)``
+    style pairs in particular fire the longest carry chains, which is where
+    behavioural and gate-level models of windowed adders diverge first.
+    """
+    corners = np.array(corner_operands(width), dtype=np.int64)
+    a = np.repeat(corners, corners.size)
+    b = np.tile(corners, corners.size)
+    return a, b
+
+
+def sampled_pairs(width: int, random_vectors: int,
+                  seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Directed corners followed by seeded uniform pairs."""
+    a_dir, b_dir = directed_pairs(width)
+    rng = np.random.default_rng(seed)
+    a_rnd = rng.integers(0, 1 << width, size=random_vectors, dtype=np.int64)
+    b_rnd = rng.integers(0, 1 << width, size=random_vectors, dtype=np.int64)
+    return (np.concatenate([a_dir, a_rnd]), np.concatenate([b_dir, b_rnd]))
+
+
+def operand_vectors(width: int,
+                    max_exhaustive_bits: int = MAX_EXHAUSTIVE_BITS,
+                    random_vectors: int = DEFAULT_RANDOM_VECTORS,
+                    seed: int = 2015) -> VectorSet:
+    """The canonical stimulus set for one adder width."""
+    if 2 * width <= max_exhaustive_bits:
+        a, b = exhaustive_pairs(width)
+        return VectorSet(a=a, b=b, exhaustive=True)
+    a, b = sampled_pairs(width, random_vectors, seed)
+    return VectorSet(a=a, b=b, exhaustive=False)

@@ -12,8 +12,14 @@ from repro.core.bitwise_model import (
 )
 from repro.core.error_model import error_probability_exact
 from repro.core.gear import GeArAdder, GeArConfig
-from repro.metrics.simulate import simulate_error_probability
+from repro.engine import EvalRequest, evaluate
 from repro.utils.distributions import GaussianOperands, SparseOperands, UniformOperands
+
+
+def _measured_error_rate(adder, samples, seed, distribution):
+    request = EvalRequest(adder=adder, mode="monte_carlo", samples=samples,
+                          seed=seed, distribution=distribution)
+    return evaluate(request).stats.error_rate
 
 
 class TestBitStatistics:
@@ -89,9 +95,9 @@ class TestPredictions:
         cfg = GeArConfig(16, 2, 2)
         dist = dist_factory()
         predicted = predict_error_rate(cfg, dist, samples=100_000, seed=5)
-        measured = simulate_error_probability(
+        measured = _measured_error_rate(
             GeArAdder(cfg), samples=100_000, seed=6, distribution=dist
-        ).measured_error_probability
+        )
         assert predicted == pytest.approx(measured, abs=abs_tol)
 
     def test_prediction_beats_paper_model_on_sparse_data(self):
@@ -99,9 +105,9 @@ class TestPredictions:
 
         cfg = GeArConfig(16, 2, 2)
         dist = SparseOperands(16, one_density=0.25)
-        measured = simulate_error_probability(
+        measured = _measured_error_rate(
             GeArAdder(cfg), samples=100_000, seed=7, distribution=dist
-        ).measured_error_probability
+        )
         bitwise_gap = abs(predict_error_rate(cfg, dist, seed=8) - measured)
         paper_gap = abs(error_probability(cfg) - measured)
         assert bitwise_gap < paper_gap / 10

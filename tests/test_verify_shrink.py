@@ -1,0 +1,85 @@
+"""Unit tests for the greedy counterexample shrinker."""
+
+import pytest
+
+from repro.verify.shrink import (
+    shrink_counterexample,
+    shrink_operands,
+    shrink_width,
+)
+
+
+class TestShrinkOperands:
+    def test_requires_failing_start(self):
+        with pytest.raises(ValueError):
+            shrink_operands(lambda a, b: False, 5, 9)
+
+    def test_minimises_to_smallest_witness(self):
+        # Failure: bit 3 set in a AND bit 1 set in b.  Minimal: (8, 2).
+        fails = lambda a, b: bool((a >> 3) & 1) and bool((b >> 1) & 1)
+        assert shrink_operands(fails, 0b11111011, 0b1110111) == (8, 2)
+
+    def test_always_failing_shrinks_to_zero(self):
+        assert shrink_operands(lambda a, b: True, 123, 200) == (0, 0)
+
+    def test_keeps_pair_failing(self):
+        fails = lambda a, b: (a + b) % 7 == 3
+        a, b = shrink_operands(fails, 57, 100)
+        assert fails(a, b)
+        assert a + b <= 157
+
+    def test_halving_move_reduces_when_bit_clears_do_not(self):
+        # Failure needs a >= 4: clearing the top bit of 4 (=0) passes, but
+        # the halving candidates keep probing; final witness is minimal
+        # under the move set.
+        fails = lambda a, b: a >= 4
+        a, b = shrink_operands(fails, 7, 3)
+        assert a >= 4 and b == 0
+
+
+class TestShrinkWidth:
+    def test_finds_narrowest_failing_width(self):
+        def probe(width):
+            return (1, 1) if width >= 3 else None
+
+        assert shrink_width(probe, 8) == (3, (1, 1))
+
+    def test_skips_undefined_widths(self):
+        def probe(width):
+            if width % 2:
+                raise ValueError("family undefined at odd widths")
+            return (0, 1) if width >= 4 else None
+
+        assert shrink_width(probe, 8) == (4, (0, 1))
+
+    def test_falls_back_to_original_width(self):
+        assert shrink_width(lambda w: None, 6) == (6, None)
+
+
+class TestShrinkCounterexample:
+    def test_two_axis_shrink(self):
+        # Fails whenever bit 2 of a is set, at any width >= 3.
+        def fails_at(width):
+            if width < 3:
+                return None
+            return lambda a, b: bool((a >> 2) & 1)
+
+        cex = shrink_counterexample(0b10110101, 0b1111, 8, fails_at)
+        assert (cex.width, cex.a, cex.b) == (3, 4, 0)
+
+    def test_sweeps_tiny_widths_for_fresh_witness(self):
+        # The original pair (7, 0) masks to a passing pair at width 2, but
+        # the exhaustive tiny-width sweep still finds the (2, 1) witness.
+        def fails_at(width):
+            if width < 2:
+                return None
+            return lambda a, b: a == 2 and b == 1
+
+        cex = shrink_counterexample(7, 0, 8, fails_at)
+        assert (cex.width, cex.a, cex.b) == (2, 2, 1)
+
+    def test_detail_is_recorded(self):
+        cex = shrink_counterexample(
+            1, 0, 4, lambda w: (lambda a, b: a == 1), detail="unit")
+        assert cex.detail == "unit"
+        assert cex.to_json() == {"a": 1, "b": 0, "width": 1, "detail": "unit"}
