@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.gear import GeArAdder, GeArConfig
 from repro.timing.fpga import characterize
 from repro.utils.validation import check_pos_int, check_prob
@@ -110,30 +111,36 @@ class AccuracyController:
         delay_sum = 0.0
         switches = 0
 
-        for lo in range(0, a.size, self.chunk):
-            hi = min(lo + self.chunk, a.size)
-            mode = self.modes[index]
-            xa, xb = a[lo:hi], b[lo:hi]
-            flags = mode.adder.detection_flags(xa, xb)
-            flagged = np.zeros(xa.shape, dtype=bool)
-            for f in flags[1:]:
-                flagged |= np.asarray(f).astype(bool)
-            flag_rate = float(np.mean(flagged)) if xa.size else 0.0
+        with obs.span("runtime.controller.run"):
+            for lo in range(0, a.size, self.chunk):
+                hi = min(lo + self.chunk, a.size)
+                mode = self.modes[index]
+                xa, xb = a[lo:hi], b[lo:hi]
+                flags = mode.adder.detection_flags(xa, xb)
+                flagged = np.zeros(xa.shape, dtype=bool)
+                for f in flags[1:]:
+                    flagged |= np.asarray(f).astype(bool)
+                flag_rate = float(np.mean(flagged)) if xa.size else 0.0
 
-            errors += int(np.count_nonzero(mode.adder.add(xa, xb) != xa + xb))
-            delay_sum += mode.delay_ns * (hi - lo)
-            mode_log.append(index)
-            rate_log.append(flag_rate)
+                errors += int(np.count_nonzero(mode.adder.add(xa, xb) != xa + xb))
+                delay_sum += mode.delay_ns * (hi - lo)
+                mode_log.append(index)
+                rate_log.append(flag_rate)
+                obs.count("runtime.chunks")
+                obs.gauge("runtime.flag_rate", flag_rate)
 
-            # Control decision for the next chunk.
-            new_index = index
-            if flag_rate > self.error_budget and index + 1 < len(self.modes):
-                new_index = index + 1  # slower, more accurate
-            elif flag_rate < self.margin * self.error_budget and index > 0:
-                new_index = index - 1  # faster, less accurate
-            if new_index != index:
-                switches += 1
-                index = new_index
+                # Control decision for the next chunk.
+                new_index = index
+                if flag_rate > self.error_budget and index + 1 < len(self.modes):
+                    new_index = index + 1  # slower, more accurate
+                elif flag_rate < self.margin * self.error_budget and index > 0:
+                    new_index = index - 1  # faster, less accurate
+                if new_index != index:
+                    switches += 1
+                    index = new_index
+                    obs.count("runtime.switches")
+                    obs.count("runtime.switch_up" if new_index > mode_log[-1]
+                              else "runtime.switch_down")
 
         return ControllerTrace(
             mode_per_chunk=mode_log,

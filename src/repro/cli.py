@@ -10,14 +10,23 @@ Commands mirror the paper's artefacts::
     gear experiment <name>    # any artefact by registry name
     gear ablation
     gear verify               # cross-layer conformance harness
+    gear cache stats|clear    # shard-cache maintenance
+    gear obs report t.jsonl   # re-summarize a saved telemetry trace
 
 Every stochastic subcommand takes ``--samples`` and ``--seed``; every
 subcommand that evaluates through :mod:`repro.engine` additionally takes
 ``--jobs N`` (process-parallel shard execution), ``--cache [DIR]``
-(memoise completed shards on disk) and ``--no-cache``.  Results are
-bit-identical at any ``--jobs`` value, and ``--json`` output excludes
-scheduling details, so JSON from ``--jobs 4`` is byte-identical to
-``--jobs 1``.
+(memoise completed shards on disk), ``--cache-size MB`` (oldest-first
+pruning cap) and ``--no-cache``.  Results are bit-identical at any
+``--jobs`` value, and ``--json`` output excludes scheduling details, so
+JSON from ``--jobs 4`` is byte-identical to ``--jobs 1``.
+
+``--trace PATH`` and ``--profile`` (accepted before or after any
+subcommand) enable the :mod:`repro.obs` telemetry layer for the run: the
+telemetry report is printed to *stderr* after the command — stdout stays
+byte-identical with tracing on or off — and ``--trace`` additionally
+saves the span log and merged :class:`~repro.obs.TelemetryFrame` as
+JSONL for ``gear obs report``.
 """
 
 from __future__ import annotations
@@ -42,6 +51,18 @@ from repro.core.gear import GeArAdder, GeArConfig
 DEFAULT_SEED = 2015
 
 
+def _package_version() -> str:
+    """Installed distribution version, falling back to the source tree."""
+    try:
+        from importlib import metadata
+
+        return metadata.version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     from repro.engine import DEFAULT_CACHE_DIR
 
@@ -53,8 +74,27 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                        default=None, metavar="DIR",
                        help="memoise completed shards on disk "
                        f"(default dir: {DEFAULT_CACHE_DIR})")
+    group.add_argument("--cache-size", type=float, default=None, metavar="MB",
+                       help="shard-cache size cap in MiB; oldest entries are "
+                       "pruned first (this run's shards are never evicted)")
     group.add_argument("--no-cache", action="store_true",
                        help="disable the shard cache even if --cache is given")
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    # SUPPRESS keeps a subparser's (unset) defaults from clobbering values
+    # the main parser already recorded, so the flags work in either
+    # position: ``gear --trace t.jsonl sweep ...`` and ``gear sweep ...
+    # --trace t.jsonl``.
+    group = parser.add_argument_group("observability")
+    group.add_argument("--trace", metavar="PATH", dest="trace",
+                       default=argparse.SUPPRESS,
+                       help="collect telemetry and save a JSONL trace "
+                       "(report on stderr; stdout is unchanged)")
+    group.add_argument("--profile", action="store_true", dest="profile",
+                       default=argparse.SUPPRESS,
+                       help="collect telemetry and print the report "
+                       "to stderr after the command")
 
 
 def _add_sampling_flags(parser: argparse.ArgumentParser,
@@ -70,9 +110,12 @@ def _add_sampling_flags(parser: argparse.ArgumentParser,
 
 
 def _engine_from_args(args: argparse.Namespace):
-    from repro.engine import Engine
+    from repro.engine import Engine, ShardCache
 
     cache = None if getattr(args, "no_cache", False) else getattr(args, "cache", None)
+    size_mb = getattr(args, "cache_size", None)
+    if cache is not None and size_mb is not None:
+        cache = ShardCache(cache, max_bytes=int(size_mb * (1 << 20)))
     return Engine(jobs=getattr(args, "jobs", 1), cache=cache)
 
 
@@ -422,11 +465,73 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import read_trace, render_report, report_to_json
+
+    try:
+        data = read_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _print_json(report_to_json(data.frame))
+        return 0
+    title = "telemetry report"
+    if data.labels:
+        title += f" — {'; '.join(data.labels)}"
+    print(render_report(data.frame, title=title))
+    if data.events:
+        print(f"\nevents: {len(data.events)} span records in trace")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.engine.cache import ShardCache
+
+    cache = ShardCache(args.dir)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"{args.dir}: removed {removed} cached shard(s)")
+        return 0
+
+    # stats: load every entry through the instrumented path, so the obs
+    # counters report validity (hit = parseable, miss = corrupt) and the
+    # bytes actually read, exactly as an engine run would see them.
+    with obs.collecting() as collector:
+        for digest in cache.digests():
+            cache.load(digest)
+    frame = collector.snapshot()
+    counters = frame.counters
+    entries, total_bytes = cache.disk_usage()
+    payload = {
+        "dir": str(args.dir),
+        "entries": entries,
+        "bytes": total_bytes,
+        "valid": counters.get("engine.cache.hit", 0),
+        "corrupt": counters.get("engine.cache.miss", 0),
+        "bytes_read": counters.get("engine.cache.bytes_read", 0),
+    }
+    code = 0 if payload["corrupt"] == 0 else 1
+    if args.json:
+        _print_json(payload)
+        return code
+    print(f"shard cache {payload['dir']}")
+    print(f"  entries     : {payload['entries']}")
+    print(f"  total bytes : {payload['bytes']}")
+    print(f"  valid       : {payload['valid']}")
+    print(f"  corrupt     : {payload['corrupt']}")
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gear",
         description="GeAr accuracy-configurable adder (DAC 2015) reproduction",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"gear {_package_version()}")
+    _add_obs_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     info = sub.add_parser("info", help="describe a GeAr(N,R,P) configuration")
@@ -586,12 +691,50 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--quick", action="store_true",
                         help="skip synthesis-heavy sections and ablations")
     report.set_defaults(func=_cmd_report)
+
+    from repro.engine import DEFAULT_CACHE_DIR
+
+    cache = sub.add_parser(
+        "cache",
+        help="shard-cache maintenance (stats / clear)",
+        description="Inspect or empty the engine's on-disk shard cache.  "
+        "'stats' re-reads every entry through the instrumented cache path "
+        "and reports validity and size from the obs counters.",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for action, help_text in [("stats", "entry count, bytes and validity"),
+                              ("clear", "remove every cached shard")]:
+        action_parser = cache_sub.add_parser(action, help=help_text)
+        action_parser.add_argument("--dir", default=DEFAULT_CACHE_DIR,
+                                   help=f"cache directory "
+                                   f"(default: {DEFAULT_CACHE_DIR})")
+        if action == "stats":
+            action_parser.add_argument("--json", action="store_true",
+                                       help="machine-readable stats")
+        action_parser.set_defaults(func=_cmd_cache)
+
+    obs_parser = sub.add_parser(
+        "obs",
+        help="observability utilities (report)",
+        description="Utilities over saved telemetry traces "
+        "(see 'gear --trace' and docs/obs.md).",
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="re-summarize a saved JSONL trace")
+    obs_report.add_argument("trace_file", help="trace written by --trace")
+    obs_report.add_argument("--json", action="store_true",
+                            help="machine-readable report")
+    obs_report.set_defaults(func=_cmd_obs_report)
+
+    # --trace/--profile are accepted after any subcommand too (the
+    # SUPPRESS defaults keep both positions from fighting over the dest).
+    for subparser in set(sub.choices.values()):
+        _add_obs_flags(subparser)
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     try:
         return args.func(args)
     except BrokenPipeError:  # e.g. `gear spectrum ... | head`
@@ -600,6 +743,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         except Exception:
             pass
         return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    profile = bool(getattr(args, "profile", False))
+    if trace_path is None and not profile:
+        return _dispatch(args)
+
+    from repro import obs
+
+    with obs.collecting(events=trace_path is not None) as collector:
+        code = _dispatch(args)
+    frame = collector.snapshot()
+    if trace_path is not None:
+        label = " ".join(argv if argv is not None else sys.argv[1:])
+        obs.write_trace(trace_path, frame, events=collector.events,
+                        label=label)
+    # stderr, so stdout stays byte-identical with tracing on or off.
+    print(obs.render_report(frame), file=sys.stderr)
+    if trace_path is not None:
+        print(f"trace written to {trace_path}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,6 +13,15 @@ Layout: ``<root>/<digest[:2]>/<digest>.json`` (git-object style fan-out
 so a directory never accumulates millions of entries).  Writes go
 through a temp file + ``os.replace`` so concurrent workers can never
 observe a torn entry.
+
+A ``max_bytes`` cap bounds the store: when the estimated on-disk size
+exceeds it, :meth:`ShardCache.prune` evicts entries oldest-first
+(by mtime) until the store fits — but never an entry written by the
+current process, so a run can always warm-start from its own work.
+Loads, stores and evictions are reported through :mod:`repro.obs`
+(``engine.cache.hit`` / ``miss`` / ``store`` / ``evicted`` counters and
+``bytes_read`` / ``bytes_written``), so ``gear --profile`` and
+``gear cache stats`` see cache effectiveness directly.
 """
 
 from __future__ import annotations
@@ -20,8 +29,9 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
+from repro import obs
 from repro.engine import api
 from repro.engine.merge import PartialStats
 
@@ -32,13 +42,31 @@ DEFAULT_CACHE_DIR = ".gear-cache"
 
 
 class ShardCache:
-    """Content-addressed store of shard partials with hit/miss counters."""
+    """Content-addressed store of shard partials with hit/miss counters.
 
-    def __init__(self, root: PathLike = DEFAULT_CACHE_DIR) -> None:
+    Args:
+        root: cache directory (created lazily on first store).
+        max_bytes: size cap; None (the default) leaves the store
+            unbounded.  Enforced opportunistically after stores — the
+            store may transiently exceed the cap by one entry before
+            pruning brings it back under.
+    """
+
+    def __init__(self, root: PathLike = DEFAULT_CACHE_DIR,
+                 max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.root = pathlib.Path(root)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.evictions = 0
+        #: Digests written by this process — never evicted by prune().
+        self._protected: Set[str] = set()
+        # Lazily initialised running estimate of the on-disk size; kept
+        # in sync by store() so pruning does not rescan on every write.
+        self._approx_bytes: Optional[int] = None
 
     # -- keying -------------------------------------------------------------
 
@@ -66,12 +94,15 @@ class ShardCache:
         """Return the cached partial, or None (counts a hit/miss)."""
         path = self._path(digest)
         try:
-            payload = json.loads(path.read_text())
-            partial = PartialStats.from_dict(payload["partial"])
+            text = path.read_text()
+            partial = PartialStats.from_dict(json.loads(text)["partial"])
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
+            obs.count("engine.cache.miss")
             return None
         self.hits += 1
+        obs.count("engine.cache.hit")
+        obs.count("engine.cache.bytes_read", len(text))
         return partial
 
     def store(self, digest: str, partial: PartialStats,
@@ -84,10 +115,91 @@ class ShardCache:
             "partial": partial.to_dict(),
             "elapsed_s": elapsed_s,
         }
+        text = json.dumps(payload, sort_keys=True)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.write_text(text)
         os.replace(tmp, path)
         self.writes += 1
+        self._protected.add(digest)
+        obs.count("engine.cache.store")
+        obs.count("engine.cache.bytes_written", len(text))
+        if self.max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = self.disk_usage()[1]
+            else:
+                self._approx_bytes += len(text)
+            if self._approx_bytes > self.max_bytes:
+                self.prune()
+
+    # -- maintenance --------------------------------------------------------
+
+    def _entries(self) -> List[Tuple[float, pathlib.Path, int]]:
+        """(mtime, path, size) of every entry; stat races drop the entry."""
+        entries: List[Tuple[float, pathlib.Path, int]] = []
+        if not self.root.is_dir():
+            return entries
+        for path in self.root.glob("??/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path, stat.st_size))
+        return entries
+
+    def digests(self) -> Iterator[str]:
+        """All digests currently present on disk."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path.stem
+
+    def disk_usage(self) -> Tuple[int, int]:
+        """(entry count, total bytes) currently on disk."""
+        entries = self._entries()
+        return len(entries), sum(size for _, _, size in entries)
+
+    def prune(self, max_bytes: Optional[int] = None) -> int:
+        """Evict oldest entries until the store fits ``max_bytes``.
+
+        Entries written by this process are exempt — a run never evicts
+        its own shards, even if that leaves the store above the cap.
+        Returns the number of entries removed.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        if cap is None:
+            raise ValueError("prune needs a size cap (max_bytes)")
+        entries = sorted(self._entries(), key=lambda e: (e[0], e[1].name))
+        total = sum(size for _, _, size in entries)
+        removed = 0
+        for _, path, size in entries:
+            if total <= cap:
+                break
+            if path.stem in self._protected:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        self.evictions += removed
+        self._approx_bytes = total
+        if removed:
+            obs.count("engine.cache.evicted", removed)
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry (protected or not); returns the count."""
+        removed = 0
+        for _, path, _ in self._entries():
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        self._protected.clear()
+        self._approx_bytes = 0
+        return removed
 
     def __len__(self) -> int:
         if not self.root.is_dir():

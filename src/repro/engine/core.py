@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tupl
 
 import numpy as np
 
+from repro import obs
 from repro.engine import api
 from repro.engine.api import EvalRequest, EvalResult
 from repro.engine.cache import PathLike, ShardCache
@@ -72,9 +73,18 @@ def _run_shard(mode: str, shard: Shard, adder, distribution,
     return PartialStats.from_arrays(approx, exact, adder.out_width, thresholds)
 
 
-def _run_task(payload) -> List[Tuple[int, PartialStats, float]]:
-    """Evaluate a batch of shards; module-level so it pickles for pools."""
-    mode, adder, distribution, thresholds, shards, arrays = payload
+def _run_task(payload):
+    """Evaluate a batch of shards; module-level so it pickles for pools.
+
+    Returns ``(results, frame)`` where ``frame`` is a
+    :class:`~repro.obs.TelemetryFrame` of the task's shard telemetry (or
+    None when tracing is off).  The task records into a *private*
+    collector — the parent's active collector does not exist in a pool
+    worker — and the parent folds the frame home, so counters and span
+    totals are identical at any ``jobs`` value.
+    """
+    mode, adder, distribution, thresholds, shards, arrays, trace = payload
+    collector = obs.Collector() if trace else None
     out: List[Tuple[int, PartialStats, float]] = []
     for pos, shard in enumerate(shards):
         approx = exact = None
@@ -83,8 +93,14 @@ def _run_task(payload) -> List[Tuple[int, PartialStats, float]]:
         t0 = time.perf_counter()
         partial = _run_shard(mode, shard, adder, distribution, thresholds,
                              approx, exact)
-        out.append((shard.index, partial, time.perf_counter() - t0))
-    return out
+        elapsed = time.perf_counter() - t0
+        out.append((shard.index, partial, elapsed))
+        if collector is not None:
+            collector.record_span("engine.shard", elapsed)
+            collector.count("engine.shard.samples", partial.samples)
+            collector.observe("engine.shard.duration_s", elapsed,
+                              bounds=obs.DURATION_BOUNDS)
+    return out, (collector.snapshot() if collector is not None else None)
 
 
 class Engine:
@@ -158,8 +174,14 @@ class Engine:
 
     def evaluate(self, request: EvalRequest) -> EvalResult:
         """Run one request to a merged :class:`ErrorStats`."""
+        with obs.span("engine.evaluate"):
+            return self._evaluate(request)
+
+    def _evaluate(self, request: EvalRequest) -> EvalResult:
         started = time.perf_counter()
         shards = self._plan(request)
+        obs.count("engine.requests")
+        obs.count("engine.shards.planned", len(shards))
         distribution = request.distribution
         if request.mode == "monte_carlo" and distribution is None:
             from repro.utils.distributions import UniformOperands
@@ -202,7 +224,8 @@ class Engine:
                         for s in task
                     ]
                 payloads.append((request.mode, request.adder, distribution,
-                                 request.maa_thresholds, task, arrays))
+                                 request.maa_thresholds, task, arrays,
+                                 obs.enabled()))
 
             if self.jobs > 1 and len(payloads) > 1:
                 with ProcessPoolExecutor(
@@ -212,7 +235,8 @@ class Engine:
             else:
                 results = [_run_task(p) for p in payloads]
 
-            for task_result in results:
+            for task_result, frame in results:
+                obs.absorb(frame)
                 for index, partial, elapsed in task_result:
                     partials[index] = partial
                     timings.append(elapsed)
@@ -221,6 +245,8 @@ class Engine:
 
         self.shards_executed += len(pending)
         self.shards_cached += len(shards) - len(pending)
+        obs.count("engine.shards.executed", len(pending))
+        obs.count("engine.shards.cached", len(shards) - len(pending))
 
         merged = merge_partials(
             (partials[s.index] for s in shards), request.maa_thresholds

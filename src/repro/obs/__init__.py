@@ -1,0 +1,73 @@
+"""Observability subsystem: spans, metrics and cross-process telemetry.
+
+``repro.obs`` is the library-wide answer to "where do time and work go":
+
+* :mod:`repro.obs.core` — the collection API (hierarchical spans,
+  counters, gauges, fixed-bucket histograms) with a no-op disabled path
+  cheap enough to leave compiled into every hot loop,
+* :mod:`repro.obs.aggregate` — :class:`TelemetryFrame`, the mergeable
+  snapshot that engine pool workers ship back beside their
+  ``PartialStats`` so telemetry survives ``ProcessPoolExecutor`` fan-out,
+* :mod:`repro.obs.export` — the JSONL trace format and the text/JSON
+  report behind ``gear --trace/--profile`` and ``gear obs report``.
+
+See ``docs/obs.md`` for the instrumentation map and trace format.
+"""
+
+from repro.obs.aggregate import (
+    DEFAULT_BOUNDS,
+    DURATION_BOUNDS,
+    GaugeStat,
+    HistogramState,
+    SpanStat,
+    TelemetryFrame,
+    merge_frames,
+)
+from repro.obs.core import (
+    NULL,
+    Collector,
+    NullCollector,
+    absorb,
+    collecting,
+    count,
+    enabled,
+    gauge,
+    get_collector,
+    observe,
+    set_collector,
+    span,
+)
+from repro.obs.export import (
+    TraceData,
+    read_trace,
+    render_report,
+    report_to_json,
+    write_trace,
+)
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "DURATION_BOUNDS",
+    "GaugeStat",
+    "HistogramState",
+    "SpanStat",
+    "TelemetryFrame",
+    "merge_frames",
+    "NULL",
+    "Collector",
+    "NullCollector",
+    "absorb",
+    "collecting",
+    "count",
+    "enabled",
+    "gauge",
+    "get_collector",
+    "observe",
+    "set_collector",
+    "span",
+    "TraceData",
+    "read_trace",
+    "render_report",
+    "report_to_json",
+    "write_trace",
+]

@@ -1,0 +1,273 @@
+"""Mergeable telemetry snapshots.
+
+:class:`TelemetryFrame` is the cross-process currency of the observability
+layer, deliberately mirroring :class:`repro.engine.merge.PartialStats`: a
+frame holds raw counts and sums (never means or rates), so two frames
+merge *exactly* — ``merge`` is associative and commutative for every
+integer field, has an identity (:meth:`TelemetryFrame.empty`), and the
+merged result is therefore independent of how work was grouped across
+``ProcessPoolExecutor`` workers.  Engine workers return one frame per
+task alongside their :class:`~repro.engine.merge.PartialStats`, and the
+parent folds them into its live collector.
+
+Four instrument families:
+
+* **counters** — monotone integer sums (cache hits, shard counts, …).
+* **gauges** — observed values folded to ``(count, total, min, max)``;
+  the mean is derived at report time.  ``last`` is deliberately absent:
+  it would not merge commutatively.
+* **histograms** — fixed-bucket counts.  Bucket bounds are part of the
+  histogram's identity; merging two histograms with different bounds is
+  an error, not a resample.
+* **spans** — per-path ``(count, total_s, max_s)`` duration aggregates.
+
+Frames serialize to plain JSON-safe dicts (``to_dict``/``from_dict``) for
+the trace file, and pickle as ordinary dataclasses for pool transport.
+No wall-clock instants are ever stored — durations only.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "DURATION_BOUNDS",
+    "GaugeStat",
+    "HistogramState",
+    "SpanStat",
+    "TelemetryFrame",
+    "merge_frames",
+]
+
+#: Default histogram bounds: powers of ten over a generic value range.
+DEFAULT_BOUNDS: Tuple[float, ...] = tuple(10.0 ** e for e in range(-6, 7))
+
+#: Bounds tuned for durations in seconds (1 µs .. 10 s).
+DURATION_BOUNDS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0,
+)
+
+
+@dataclass(frozen=True)
+class GaugeStat:
+    """Order-independent aggregate of one gauge's observations."""
+
+    count: int
+    total: float
+    min: float
+    max: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "GaugeStat") -> "GaugeStat":
+        return GaugeStat(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            min=min(self.min, other.min),
+            max=max(self.max, other.max),
+        )
+
+    @classmethod
+    def single(cls, value: float) -> "GaugeStat":
+        value = float(value)
+        return cls(count=1, total=value, min=value, max=value)
+
+    def to_list(self):
+        return [self.count, self.total, self.min, self.max]
+
+    @classmethod
+    def from_list(cls, payload) -> "GaugeStat":
+        count, total, lo, hi = payload
+        return cls(int(count), float(total), float(lo), float(hi))
+
+
+@dataclass(frozen=True)
+class HistogramState:
+    """Fixed-bucket histogram: ``counts[i]`` covers ``(bounds[i-1], bounds[i]]``.
+
+    ``counts`` has ``len(bounds) + 1`` entries; the last bucket is the
+    overflow (``> bounds[-1]``).  ``total`` is the raw sum of observed
+    values (a float, so merged totals agree only up to FP reassociation;
+    every count is exact).
+    """
+
+    bounds: Tuple[float, ...]
+    counts: Tuple[int, ...]
+    total: float
+
+    def __post_init__(self) -> None:
+        if len(self.counts) != len(self.bounds) + 1:
+            raise ValueError(
+                f"histogram needs {len(self.bounds) + 1} buckets, "
+                f"got {len(self.counts)}"
+            )
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def mean(self) -> float:
+        n = self.count
+        return self.total / n if n else 0.0
+
+    @classmethod
+    def zero(cls, bounds: Iterable[float]) -> "HistogramState":
+        bounds = tuple(float(b) for b in bounds)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram bounds must be strictly sorted: {bounds}")
+        return cls(bounds=bounds, counts=(0,) * (len(bounds) + 1), total=0.0)
+
+    def observe(self, value: float) -> "HistogramState":
+        value = float(value)
+        bucket = bisect_right(self.bounds, value)
+        # bisect_right puts value == bound in the *next* bucket; shift so a
+        # bucket covers (lo, hi] and an exact bound lands in its own bucket.
+        if bucket > 0 and value == self.bounds[bucket - 1]:
+            bucket -= 1
+        counts = list(self.counts)
+        counts[bucket] += 1
+        return HistogramState(self.bounds, tuple(counts), self.total + value)
+
+    def merge(self, other: "HistogramState") -> "HistogramState":
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        return HistogramState(
+            bounds=self.bounds,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            total=self.total + other.total,
+        )
+
+    def to_dict(self):
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "HistogramState":
+        return cls(
+            bounds=tuple(float(b) for b in payload["bounds"]),
+            counts=tuple(int(c) for c in payload["counts"]),
+            total=float(payload["total"]),
+        )
+
+
+@dataclass(frozen=True)
+class SpanStat:
+    """Duration aggregate of one span path."""
+
+    count: int
+    total_s: float
+    max_s: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def merge(self, other: "SpanStat") -> "SpanStat":
+        return SpanStat(
+            count=self.count + other.count,
+            total_s=self.total_s + other.total_s,
+            max_s=max(self.max_s, other.max_s),
+        )
+
+    def to_list(self):
+        return [self.count, self.total_s, self.max_s]
+
+    @classmethod
+    def from_list(cls, payload) -> "SpanStat":
+        count, total_s, max_s = payload
+        return cls(int(count), float(total_s), float(max_s))
+
+
+def _merge_maps(mine: Mapping, theirs: Mapping, combine) -> Dict:
+    merged = dict(mine)
+    for key, value in theirs.items():
+        present = merged.get(key)
+        merged[key] = value if present is None else combine(present, value)
+    return merged
+
+
+@dataclass(frozen=True)
+class TelemetryFrame:
+    """One immutable snapshot of collected telemetry.
+
+    Frames form a commutative monoid under :meth:`merge` (exactly for all
+    integer fields, up to FP reassociation for float sums), with
+    :meth:`empty` as the identity — the same algebraic contract as
+    ``PartialStats``, and for the same reason: the folded result must not
+    depend on worker count or task grouping.
+    """
+
+    counters: Mapping[str, int] = field(default_factory=dict)
+    gauges: Mapping[str, GaugeStat] = field(default_factory=dict)
+    histograms: Mapping[str, HistogramState] = field(default_factory=dict)
+    spans: Mapping[str, SpanStat] = field(default_factory=dict)
+    dropped_events: int = 0
+
+    @classmethod
+    def empty(cls) -> "TelemetryFrame":
+        return cls()
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms
+                    or self.spans or self.dropped_events)
+
+    def merge(self, other: "TelemetryFrame") -> "TelemetryFrame":
+        """Associative, commutative combination of two frames."""
+        return TelemetryFrame(
+            counters=_merge_maps(self.counters, other.counters,
+                                 lambda a, b: a + b),
+            gauges=_merge_maps(self.gauges, other.gauges,
+                               GaugeStat.merge),
+            histograms=_merge_maps(self.histograms, other.histograms,
+                                   HistogramState.merge),
+            spans=_merge_maps(self.spans, other.spans, SpanStat.merge),
+            dropped_events=self.dropped_events + other.dropped_events,
+        )
+
+    # -- serialization (JSONL trace records, cache-stats output) ------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k].to_list()
+                       for k in sorted(self.gauges)},
+            "histograms": {k: self.histograms[k].to_dict()
+                           for k in sorted(self.histograms)},
+            "spans": {k: self.spans[k].to_list() for k in sorted(self.spans)},
+            "dropped_events": self.dropped_events,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TelemetryFrame":
+        return cls(
+            counters={str(k): int(v)
+                      for k, v in payload.get("counters", {}).items()},
+            gauges={str(k): GaugeStat.from_list(v)
+                    for k, v in payload.get("gauges", {}).items()},
+            histograms={str(k): HistogramState.from_dict(v)
+                        for k, v in payload.get("histograms", {}).items()},
+            spans={str(k): SpanStat.from_list(v)
+                   for k, v in payload.get("spans", {}).items()},
+            dropped_events=int(payload.get("dropped_events", 0)),
+        )
+
+
+def merge_frames(frames: Iterable[TelemetryFrame]) -> TelemetryFrame:
+    """Left fold of frames (order irrelevant up to FP reassociation)."""
+    acc = TelemetryFrame.empty()
+    for frame in frames:
+        acc = acc.merge(frame)
+    return acc

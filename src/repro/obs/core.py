@@ -1,0 +1,305 @@
+"""Collection API: spans, counters, gauges, histograms.
+
+The module keeps one *active collector*.  By default it is
+:data:`NULL` — a no-op singleton whose methods return immediately — so
+instrumented hot paths pay only an attribute lookup and an empty call
+when observability is off.  The CLI's ``--trace``/``--profile`` flags
+(and tests) swap in a real :class:`Collector` via :func:`collecting`.
+
+Instrumentation points call the module-level helpers::
+
+    from repro import obs
+
+    with obs.span("engine.evaluate"):
+        obs.count("engine.shards.planned", len(shards))
+        obs.gauge("runtime.flag_rate", rate)
+        obs.observe("engine.shard.duration_s", dt, bounds=DURATION_BOUNDS)
+
+Spans nest: a span entered while another is open records under the
+joined path (``engine.evaluate/engine.shard``), giving a cheap
+hierarchical profile without a tracing runtime.  Engine pool workers
+construct a private ``Collector`` directly (the active one lives in the
+parent process), snapshot it to a :class:`TelemetryFrame` and ship the
+frame home with their results; the parent folds it in with
+:func:`absorb`.  Recorded values never include wall-clock instants —
+only durations — so two runs of the same workload differ only in the
+duration fields.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.aggregate import (
+    DEFAULT_BOUNDS,
+    GaugeStat,
+    HistogramState,
+    SpanStat,
+    TelemetryFrame,
+)
+
+__all__ = [
+    "NULL",
+    "Collector",
+    "NullCollector",
+    "absorb",
+    "collecting",
+    "count",
+    "enabled",
+    "gauge",
+    "get_collector",
+    "observe",
+    "set_collector",
+    "span",
+]
+
+#: Events kept per collector before further ones are counted as dropped.
+MAX_EVENTS = 200_000
+
+
+class _NullSpan:
+    """Reusable no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullCollector:
+    """Disabled collector: every operation is a no-op.
+
+    This is the module default; instrumented code never needs to test a
+    flag before recording (though hot loops may still guard expensive
+    *argument computation* behind :func:`enabled`).
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    events: Tuple = ()
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_span(self, path: str, dur_s: float) -> None:
+        pass
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float,
+                bounds: Optional[Sequence[float]] = None) -> None:
+        pass
+
+    def absorb(self, frame: Optional[TelemetryFrame]) -> None:
+        pass
+
+    def snapshot(self) -> TelemetryFrame:
+        return TelemetryFrame.empty()
+
+
+#: The process-wide disabled collector.
+NULL = NullCollector()
+
+
+class _Span:
+    """Live span handle: measures one ``with`` block into its collector."""
+
+    __slots__ = ("_collector", "_name", "_t0")
+
+    def __init__(self, collector: "Collector", name: str) -> None:
+        self._collector = collector
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._collector._stack.append(self._name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        dur = time.perf_counter() - self._t0
+        stack = self._collector._stack
+        path = "/".join(stack)
+        stack.pop()
+        self._collector.record_span(path, dur)
+        return False
+
+
+class Collector(NullCollector):
+    """Live telemetry collector.
+
+    Args:
+        events: also keep a per-span event log (for ``--trace`` JSONL);
+            capped at ``max_events``, further events count as dropped.
+        max_events: event-log bound.
+
+    The collector tallies every public recording call in ``api_calls``
+    so the overhead benchmark can convert an instrumented run's call
+    volume into a disabled-path cost estimate.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "_spans", "_stack",
+                 "_events", "_record_events", "_max_events",
+                 "dropped_events", "api_calls")
+
+    enabled = True
+
+    def __init__(self, events: bool = False,
+                 max_events: int = MAX_EVENTS) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, GaugeStat] = {}
+        self._histograms: Dict[str, HistogramState] = {}
+        self._spans: Dict[str, SpanStat] = {}
+        self._stack: List[str] = []
+        self._events: List[Dict] = []
+        self._record_events = bool(events)
+        self._max_events = int(max_events)
+        self.dropped_events = 0
+        self.api_calls = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str) -> _Span:
+        return _Span(self, name)
+
+    def record_span(self, path: str, dur_s: float) -> None:
+        self.api_calls += 1
+        stat = self._spans.get(path)
+        if stat is None:
+            self._spans[path] = SpanStat(1, dur_s, dur_s)
+        else:
+            self._spans[path] = SpanStat(stat.count + 1,
+                                         stat.total_s + dur_s,
+                                         max(stat.max_s, dur_s))
+        if self._record_events:
+            if len(self._events) < self._max_events:
+                self._events.append(
+                    {"kind": "span", "path": path, "dur_s": dur_s}
+                )
+            else:
+                self.dropped_events += 1
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.api_calls += 1
+        self._counters[name] = self._counters.get(name, 0) + int(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.api_calls += 1
+        stat = self._gauges.get(name)
+        point = GaugeStat.single(value)
+        self._gauges[name] = point if stat is None else stat.merge(point)
+
+    def observe(self, name: str, value: float,
+                bounds: Optional[Sequence[float]] = None) -> None:
+        """Add ``value`` to histogram ``name``.
+
+        ``bounds`` fixes the bucket layout on the histogram's *first*
+        observation; later calls reuse the existing layout (a differing
+        ``bounds`` argument is ignored — bounds are identity, set once).
+        """
+        self.api_calls += 1
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = HistogramState.zero(DEFAULT_BOUNDS if bounds is None
+                                       else bounds)
+        self._histograms[name] = hist.observe(value)
+
+    # -- cross-process fold -------------------------------------------------
+
+    def absorb(self, frame: Optional[TelemetryFrame]) -> None:
+        """Fold a worker's frame into this collector's live state."""
+        if frame is None:
+            return
+        self.api_calls += 1
+        merged = self.snapshot().merge(frame)
+        self._counters = dict(merged.counters)
+        self._gauges = dict(merged.gauges)
+        self._histograms = dict(merged.histograms)
+        self._spans = dict(merged.spans)
+        self.dropped_events = merged.dropped_events
+
+    # -- output -------------------------------------------------------------
+
+    @property
+    def events(self) -> Tuple[Dict, ...]:
+        return tuple(self._events)
+
+    def snapshot(self) -> TelemetryFrame:
+        """Immutable frame of everything recorded so far."""
+        return TelemetryFrame(
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+            histograms=dict(self._histograms),
+            spans=dict(self._spans),
+            dropped_events=self.dropped_events,
+        )
+
+
+# -- active-collector plumbing ----------------------------------------------
+
+_active: NullCollector = NULL
+
+
+def get_collector() -> NullCollector:
+    """The currently active collector (:data:`NULL` when disabled)."""
+    return _active
+
+
+def set_collector(collector: Optional[NullCollector]) -> NullCollector:
+    """Install ``collector`` (None = disable); returns the previous one."""
+    global _active
+    previous = _active
+    _active = NULL if collector is None else collector
+    return previous
+
+
+@contextlib.contextmanager
+def collecting(events: bool = False) -> Iterator[Collector]:
+    """Scope a fresh live :class:`Collector` as the active one."""
+    collector = Collector(events=events)
+    previous = set_collector(collector)
+    try:
+        yield collector
+    finally:
+        set_collector(previous)
+
+
+# -- module-level recording helpers (the instrumentation surface) -----------
+
+def enabled() -> bool:
+    """True when a live collector is active (guard expensive arguments)."""
+    return _active.enabled
+
+
+def span(name: str):
+    """Context manager timing a block under the active collector."""
+    return _active.span(name)
+
+
+def count(name: str, n: int = 1) -> None:
+    _active.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    _active.gauge(name, value)
+
+
+def observe(name: str, value: float,
+            bounds: Optional[Sequence[float]] = None) -> None:
+    _active.observe(name, value, bounds)
+
+
+def absorb(frame: Optional[TelemetryFrame]) -> None:
+    _active.absorb(frame)

@@ -1,0 +1,181 @@
+"""Trace persistence and reporting.
+
+A trace file is JSON Lines, one record per line, three record kinds::
+
+    {"record": "meta",  "format": "repro-obs-trace", "version": 1, "label": ...}
+    {"record": "event", "seq": 0, "kind": "span", "path": "...", "dur_s": ...}
+    {"record": "frame", "frame": { ... TelemetryFrame.to_dict() ... }}
+
+``meta`` is always first.  ``event`` records replay the span log in
+completion order (present only when the collector kept events).  One or
+more ``frame`` records carry merged telemetry; readers fold every frame
+they find, so traces can be concatenated (``cat a.jsonl b.jsonl``) and
+re-summarized with ``gear obs report``.  No record contains a wall-clock
+timestamp — durations only — so two traces of the same deterministic
+workload differ only in duration fields.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.obs.aggregate import TelemetryFrame, merge_frames
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "TraceData",
+    "read_trace",
+    "render_report",
+    "report_to_json",
+    "write_trace",
+]
+
+TRACE_FORMAT = "repro-obs-trace"
+TRACE_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def write_trace(path: PathLike, frame: TelemetryFrame,
+                events: Iterable[Dict] = (),
+                label: Optional[str] = None) -> pathlib.Path:
+    """Write one telemetry frame (plus its span event log) as JSONL."""
+    path = pathlib.Path(path)
+    if path.parent != pathlib.Path():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps({
+        "record": "meta",
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION,
+        "label": label,
+    }, sort_keys=True)]
+    for seq, event in enumerate(events):
+        lines.append(json.dumps(
+            {"record": "event", "seq": seq, **event}, sort_keys=True))
+    lines.append(json.dumps({"record": "frame", "frame": frame.to_dict()},
+                            sort_keys=True))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+@dataclass(frozen=True)
+class TraceData:
+    """Parsed trace: the folded frame plus the raw event records."""
+
+    frame: TelemetryFrame
+    events: Tuple[Dict, ...] = ()
+    labels: Tuple[str, ...] = field(default_factory=tuple)
+
+
+def read_trace(path: PathLike) -> TraceData:
+    """Parse a JSONL trace, folding every frame record it contains."""
+    frames: List[TelemetryFrame] = []
+    events: List[Dict] = []
+    labels: List[str] = []
+    for lineno, line in enumerate(
+            pathlib.Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+        kind = record.get("record")
+        if kind == "meta":
+            if record.get("format") != TRACE_FORMAT:
+                raise ValueError(
+                    f"{path}:{lineno}: not a {TRACE_FORMAT} file "
+                    f"(format={record.get('format')!r})"
+                )
+            if record.get("label"):
+                labels.append(str(record["label"]))
+        elif kind == "frame":
+            frames.append(TelemetryFrame.from_dict(record["frame"]))
+        elif kind == "event":
+            events.append(record)
+        else:
+            raise ValueError(f"{path}:{lineno}: unknown record kind {kind!r}")
+    if not frames:
+        raise ValueError(f"{path}: trace contains no frame record")
+    return TraceData(frame=merge_frames(frames), events=tuple(events),
+                     labels=tuple(labels))
+
+
+# -- reporting ---------------------------------------------------------------
+
+def _rows(headers, rows) -> str:
+    widths = [len(h) for h in headers]
+    rendered = [[str(cell) for cell in row] for row in rows]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(cells)
+        ).rstrip()
+    return "\n".join([fmt(headers)] + [fmt(row) for row in rendered])
+
+
+def _bucket_label(bounds, i) -> str:
+    if i < len(bounds):
+        return f"<={bounds[i]:g}"
+    return f">{bounds[-1]:g}"
+
+
+def render_report(frame: TelemetryFrame,
+                  title: str = "telemetry report") -> str:
+    """Human-readable per-span totals, counters, gauges and histograms."""
+    out: List[str] = [title, "=" * len(title)]
+    if frame.is_empty:
+        out.append("(no telemetry recorded)")
+        return "\n".join(out)
+
+    if frame.spans:
+        ordered = sorted(frame.spans.items(),
+                         key=lambda kv: (-kv[1].total_s, kv[0]))
+        out += ["", "spans", _rows(
+            ["path", "calls", "total s", "mean s", "max s"],
+            [[path, s.count, f"{s.total_s:.6f}", f"{s.mean_s:.6f}",
+              f"{s.max_s:.6f}"] for path, s in ordered],
+        )]
+    if frame.counters:
+        out += ["", "counters", _rows(
+            ["name", "value"],
+            [[name, frame.counters[name]] for name in sorted(frame.counters)],
+        )]
+    if frame.gauges:
+        out += ["", "gauges", _rows(
+            ["name", "n", "mean", "min", "max"],
+            [[name, g.count, f"{g.mean:.6g}", f"{g.min:.6g}", f"{g.max:.6g}"]
+             for name, g in sorted(frame.gauges.items())],
+        )]
+    if frame.histograms:
+        out += ["", "histograms"]
+        for name in sorted(frame.histograms):
+            hist = frame.histograms[name]
+            populated = [
+                f"{_bucket_label(hist.bounds, i)}: {count}"
+                for i, count in enumerate(hist.counts) if count
+            ]
+            out.append(f"{name}  n={hist.count}  mean={hist.mean:.6g}")
+            out.append("  " + ("  ".join(populated) if populated
+                               else "(empty)"))
+    if frame.dropped_events:
+        out += ["", f"dropped events: {frame.dropped_events}"]
+    return "\n".join(out)
+
+
+def report_to_json(frame: TelemetryFrame) -> Dict:
+    """Machine-readable report: the frame dict plus derived per-span means."""
+    payload = frame.to_dict()
+    payload["span_summary"] = {
+        path: {"calls": s.count, "total_s": s.total_s, "mean_s": s.mean_s,
+               "max_s": s.max_s}
+        for path, s in sorted(frame.spans.items())
+    }
+    return payload

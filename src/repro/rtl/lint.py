@@ -41,6 +41,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.rtl.gates import Gate, Op
 from repro.rtl.netlist import Netlist, bus_net
 
@@ -314,7 +315,10 @@ def lint_netlist(
     ctx = LintContext(netlist)
     diagnostics: List[Diagnostic] = []
     for rule in selected:
-        diagnostics.extend(rule.check(ctx, rule))
+        with obs.span(f"rtl.lint.rule.{rule.id}"):
+            found = list(rule.check(ctx, rule))
+        obs.count("rtl.lint.diagnostics", len(found))
+        diagnostics.extend(found)
     return LintReport(
         name=netlist.name,
         diagnostics=tuple(diagnostics),

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Set, Tuple
 
+from repro import obs
 from repro.rtl.gates import Op
 from repro.rtl.netlist import Netlist
 
@@ -60,6 +61,15 @@ def strash(netlist: Netlist) -> Netlist:
     Primary input nets keep their names; internal nets are renumbered.
     Output buses are preserved (possibly pointing at shared nets).
     """
+    with obs.span("rtl.opt.strash"):
+        result = _strash(netlist)
+    obs.count("rtl.opt.strash_runs")
+    obs.count("rtl.opt.gates_shared",
+              max(0, len(netlist.gates) - len(result.gates)))
+    return result
+
+
+def _strash(netlist: Netlist) -> Netlist:
     result = Netlist(netlist.name)
     for bus, width in netlist.input_buses.items():
         result.add_input_bus(bus, width)
@@ -91,6 +101,15 @@ def strash(netlist: Netlist) -> Netlist:
 
 def sweep(netlist: Netlist) -> Netlist:
     """Remove gates that do not (transitively) drive any output net."""
+    with obs.span("rtl.opt.sweep"):
+        result = _sweep(netlist)
+    obs.count("rtl.opt.sweep_runs")
+    obs.count("rtl.opt.gates_swept",
+              max(0, len(netlist.gates) - len(result.gates)))
+    return result
+
+
+def _sweep(netlist: Netlist) -> Netlist:
     live = live_nets(netlist)
 
     result = Netlist(netlist.name)

@@ -12,6 +12,7 @@ from typing import Dict, Mapping, Union
 
 import numpy as np
 
+from repro import obs
 from repro.rtl.gates import Op
 from repro.rtl.netlist import Netlist
 
@@ -50,33 +51,42 @@ def simulate(netlist: Netlist, stimulus: Stimulus) -> Dict[str, np.ndarray]:
     if extra:
         raise KeyError(f"stimulus names unknown buses: {sorted(extra)}")
 
-    shape = np.broadcast(*(np.asarray(v) for v in stimulus.values())).shape
-    values: Dict[str, np.ndarray] = {}
-    for bus, width in netlist.input_buses.items():
-        word = np.asarray(stimulus[bus], dtype=np.int64)
-        if np.any(word < 0) or np.any(word >> width != 0):
-            raise ValueError(f"stimulus for bus {bus!r} does not fit in {width} bits")
-        for i in range(width):
-            values[f"{bus}[{i}]"] = np.broadcast_to(((word >> i) & 1).astype(bool), shape)
+    with obs.span("rtl.sim.simulate"):
+        shape = np.broadcast(*(np.asarray(v) for v in stimulus.values())).shape
+        values: Dict[str, np.ndarray] = {}
+        for bus, width in netlist.input_buses.items():
+            word = np.asarray(stimulus[bus], dtype=np.int64)
+            if np.any(word < 0) or np.any(word >> width != 0):
+                raise ValueError(f"stimulus for bus {bus!r} does not fit in {width} bits")
+            for i in range(width):
+                values[f"{bus}[{i}]"] = np.broadcast_to(((word >> i) & 1).astype(bool), shape)
 
-    for gate in netlist.topological_order():
-        if gate.op is Op.INPUT:
-            if gate.output not in values:
-                raise KeyError(f"input net {gate.output!r} has no stimulus")
-            continue
-        if gate.op is Op.CONST0:
-            values[gate.output] = np.broadcast_to(np.asarray(False), shape)
-        elif gate.op is Op.CONST1:
-            values[gate.output] = np.broadcast_to(np.asarray(True), shape)
-        elif gate.op is Op.BUF:
-            values[gate.output] = values[gate.inputs[0]]
-        elif gate.op is Op.NOT:
-            values[gate.output] = ~values[gate.inputs[0]]
-        elif gate.op is Op.MUX:
-            sel, d0, d1 = (values[n] for n in gate.inputs)
-            values[gate.output] = np.where(sel, d1, d0)
-        else:
-            values[gate.output] = _reduce(gate.op, [values[n] for n in gate.inputs])
+        logic_gates = 0
+        for gate in netlist.topological_order():
+            if gate.op is Op.INPUT:
+                if gate.output not in values:
+                    raise KeyError(f"input net {gate.output!r} has no stimulus")
+                continue
+            logic_gates += 1
+            if gate.op is Op.CONST0:
+                values[gate.output] = np.broadcast_to(np.asarray(False), shape)
+            elif gate.op is Op.CONST1:
+                values[gate.output] = np.broadcast_to(np.asarray(True), shape)
+            elif gate.op is Op.BUF:
+                values[gate.output] = values[gate.inputs[0]]
+            elif gate.op is Op.NOT:
+                values[gate.output] = ~values[gate.inputs[0]]
+            elif gate.op is Op.MUX:
+                sel, d0, d1 = (values[n] for n in gate.inputs)
+                values[gate.output] = np.where(sel, d1, d0)
+            else:
+                values[gate.output] = _reduce(gate.op, [values[n] for n in gate.inputs])
+        if obs.enabled():
+            vectors = 1
+            for dim in shape:
+                vectors *= dim
+            obs.count("rtl.sim.runs")
+            obs.count("rtl.sim.gate_evals", logic_gates * vectors)
     return values
 
 

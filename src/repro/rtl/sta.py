@@ -21,6 +21,7 @@ from __future__ import annotations
 import abc
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.rtl.gates import Gate, Op
 from repro.rtl.netlist import Netlist
 
@@ -91,14 +92,18 @@ class FpgaDelayModel(DelayModel):
 
 def arrival_times(netlist: Netlist, model: DelayModel) -> Dict[str, float]:
     """Arrival time of every net under ``model`` (primary inputs at 0)."""
-    times: Dict[str, float] = {}
-    for gate in netlist.topological_order():
-        if gate.is_source:
-            times[gate.output] = model.gate_delay(gate)
-        else:
-            times[gate.output] = (
-                max(times[src] for src in gate.inputs) + model.gate_delay(gate)
-            )
+    with obs.span("rtl.sta.arrival"):
+        times: Dict[str, float] = {}
+        for gate in netlist.topological_order():
+            if gate.is_source:
+                times[gate.output] = model.gate_delay(gate)
+            else:
+                times[gate.output] = (
+                    max(times[src] for src in gate.inputs)
+                    + model.gate_delay(gate)
+                )
+        obs.count("rtl.sta.runs")
+        obs.count("rtl.sta.gates", len(times))
     return times
 
 
@@ -123,7 +128,9 @@ def critical_path_delay(netlist: Netlist, model: DelayModel,
             outputs.extend(netlist.output_buses[bus])
     if not outputs:
         raise ValueError("netlist declares no output buses")
-    return max(times[net] for net in outputs)
+    worst = max(times[net] for net in outputs)
+    obs.gauge("rtl.sta.critical_delay", worst)
+    return worst
 
 
 def critical_path(netlist: Netlist, model: DelayModel) -> List[str]:
@@ -151,4 +158,6 @@ def depth_histogram(netlist: Netlist) -> Dict[int, int]:
     for net in netlist.output_nets():
         d = int(times[net])
         hist[d] = hist.get(d, 0) + 1
+    if hist:
+        obs.gauge("rtl.sta.levels", max(hist))
     return hist

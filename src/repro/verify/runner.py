@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
+from repro import obs
 from repro.engine import fingerprint_adder
 from repro.verify.oracles import (
     MAX_SCALAR_PROBES,
@@ -68,31 +69,38 @@ def verify_adder(entry: RegisteredAdder,
                  engine=None) -> ConformanceReport:
     """Run the selected layers for one registered adder family."""
     options = options or VerifyOptions()
-    model = entry(options.width)
-    vectors = operand_vectors(
-        options.width,
-        max_exhaustive_bits=options.max_exhaustive_bits,
-        random_vectors=options.random_vectors,
-        seed=options.seed,
-    )
-    results: List[LayerResult] = []
-    for layer in options.layers:
-        if layer == "behavioural":
-            results.append(check_behavioural(
-                model, vectors, build=entry, min_width=entry.min_width))
-        elif layer == "verilog":
-            results.append(check_verilog(
-                model, build=entry, min_width=entry.min_width,
-                random_vectors=options.random_vectors, seed=options.seed))
-        elif layer == "stats":
-            results.append(check_stats(
-                model, engine=engine,
-                exhaustive_width_cap=options.stats_exhaustive_cap,
-                samples=options.samples, seed=options.seed))
-        else:
-            results.append(check_vector(
-                model, vectors, build=entry,
-                max_scalar=options.max_scalar, min_width=entry.min_width))
+    with obs.span("verify.adder"):
+        model = entry(options.width)
+        vectors = operand_vectors(
+            options.width,
+            max_exhaustive_bits=options.max_exhaustive_bits,
+            random_vectors=options.random_vectors,
+            seed=options.seed,
+        )
+        obs.count("verify.adders")
+        obs.count("verify.vectors", vectors.count)
+        results: List[LayerResult] = []
+        for layer in options.layers:
+            with obs.span(f"verify.layer.{layer}"):
+                if layer == "behavioural":
+                    results.append(check_behavioural(
+                        model, vectors, build=entry,
+                        min_width=entry.min_width))
+                elif layer == "verilog":
+                    results.append(check_verilog(
+                        model, build=entry, min_width=entry.min_width,
+                        random_vectors=options.random_vectors,
+                        seed=options.seed))
+                elif layer == "stats":
+                    results.append(check_stats(
+                        model, engine=engine,
+                        exhaustive_width_cap=options.stats_exhaustive_cap,
+                        samples=options.samples, seed=options.seed))
+                else:
+                    results.append(check_vector(
+                        model, vectors, build=entry,
+                        max_scalar=options.max_scalar,
+                        min_width=entry.min_width))
     return ConformanceReport(
         key=entry.key,
         adder_name=model.name,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Tuple
 
+from repro import obs
 from repro.verify.report import Counterexample
 
 #: Per-pair failure predicate: True when (a, b) still exhibits the bug.
@@ -63,6 +64,8 @@ def shrink_operands(fails: PairPredicate, a: int, b: int,
                     break
             if improved:
                 break
+    obs.count("verify.shrink.runs")
+    obs.count("verify.shrink.steps", steps)
     return a, b
 
 

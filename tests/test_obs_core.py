@@ -1,0 +1,198 @@
+"""Unit tests for the obs collection API (repro.obs.core) and export."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.aggregate import (
+    DURATION_BOUNDS,
+    GaugeStat,
+    HistogramState,
+    TelemetryFrame,
+)
+
+
+class TestDisabledPath:
+    def test_default_collector_is_null(self):
+        assert obs.get_collector() is obs.NULL
+        assert not obs.enabled()
+
+    def test_null_operations_record_nothing(self):
+        obs.count("x", 5)
+        obs.gauge("g", 1.0)
+        obs.observe("h", 0.5)
+        with obs.span("a"):
+            with obs.span("b"):
+                pass
+        obs.absorb(TelemetryFrame(counters={"x": 1}))
+        assert obs.get_collector().snapshot().is_empty
+
+    def test_null_span_is_reusable_singleton(self):
+        assert obs.span("a") is obs.span("b")
+
+
+class TestCollector:
+    def test_counters_accumulate(self):
+        with obs.collecting() as col:
+            obs.count("hits")
+            obs.count("hits", 2)
+            obs.count("bytes", 100)
+        frame = col.snapshot()
+        assert frame.counters == {"hits": 3, "bytes": 100}
+
+    def test_collecting_restores_previous_collector(self):
+        assert obs.get_collector() is obs.NULL
+        with pytest.raises(RuntimeError):
+            with obs.collecting():
+                assert obs.enabled()
+                raise RuntimeError("boom")
+        assert obs.get_collector() is obs.NULL
+
+    def test_nested_spans_record_joined_paths(self):
+        with obs.collecting() as col:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+                with obs.span("inner"):
+                    pass
+        frame = col.snapshot()
+        assert frame.spans["outer"].count == 1
+        assert frame.spans["outer/inner"].count == 2
+        assert frame.spans["outer"].total_s >= frame.spans["outer/inner"].total_s
+
+    def test_span_durations_are_positive_and_bounded_by_parent(self):
+        with obs.collecting() as col:
+            with obs.span("s"):
+                sum(range(1000))
+        stat = col.snapshot().spans["s"]
+        assert stat.total_s > 0.0
+        assert stat.max_s <= stat.total_s
+
+    def test_gauge_folds_to_count_total_min_max(self):
+        with obs.collecting() as col:
+            for v in (0.5, 1.5, -0.5):
+                obs.gauge("g", v)
+        g = col.snapshot().gauges["g"]
+        assert g == GaugeStat(count=3, total=1.5, min=-0.5, max=1.5)
+        assert g.mean == pytest.approx(0.5)
+
+    def test_histogram_buckets_and_identity_bounds(self):
+        with obs.collecting() as col:
+            obs.observe("d", 0.003, bounds=DURATION_BOUNDS)
+            # later bounds argument is ignored: bounds are identity
+            obs.observe("d", 5.0, bounds=(1.0, 2.0))
+            obs.observe("d", 1e-9)
+        hist = col.snapshot().histograms["d"]
+        assert hist.bounds == DURATION_BOUNDS
+        assert hist.count == 3
+        assert hist.counts[0] == 1          # 1e-9 <= 1e-6
+        assert hist.counts[-2] == 1         # 5.0 in (1, 10]
+        assert hist.total == pytest.approx(5.003 + 1e-9)
+
+    def test_histogram_exact_bound_lands_in_lower_bucket(self):
+        hist = HistogramState.zero((1.0, 2.0)).observe(1.0)
+        assert hist.counts == (1, 0, 0)
+
+    def test_events_recorded_and_capped(self):
+        with obs.collecting(events=True) as col:
+            with obs.span("a"):
+                pass
+        assert col.events == ({"kind": "span", "path": "a",
+                               "dur_s": col.events[0]["dur_s"]},)
+
+        col = obs.Collector(events=True, max_events=2)
+        for _ in range(5):
+            col.record_span("s", 0.1)
+        assert len(col.events) == 2
+        assert col.snapshot().dropped_events == 3
+
+    def test_absorb_folds_worker_frame(self):
+        worker = obs.Collector()
+        worker.count("engine.shard.samples", 100)
+        worker.record_span("engine.shard", 0.25)
+        with obs.collecting() as col:
+            obs.count("engine.shard.samples", 50)
+            obs.absorb(worker.snapshot())
+            obs.absorb(None)  # tolerated: tracing off in the worker
+        frame = col.snapshot()
+        assert frame.counters["engine.shard.samples"] == 150
+        assert frame.spans["engine.shard"].count == 1
+
+    def test_api_calls_tally(self):
+        col = obs.Collector()
+        col.count("a")
+        col.gauge("b", 1.0)
+        col.observe("c", 1.0)
+        col.record_span("d", 0.1)
+        assert col.api_calls == 4
+
+
+class TestExport:
+    def test_trace_round_trip(self, tmp_path):
+        with obs.collecting(events=True) as col:
+            with obs.span("a"):
+                obs.count("n", 7)
+                obs.gauge("g", 2.0)
+                obs.observe("h", 0.01)
+        frame = col.snapshot()
+        path = obs.write_trace(tmp_path / "t.jsonl", frame, col.events,
+                               label="unit test")
+        data = obs.read_trace(path)
+        assert data.frame.to_dict() == frame.to_dict()
+        assert data.labels == ("unit test",)
+        assert len(data.events) == 1
+
+    def test_trace_is_valid_jsonl_without_timestamps(self, tmp_path):
+        with obs.collecting(events=True) as col:
+            with obs.span("a"):
+                pass
+        path = obs.write_trace(tmp_path / "t.jsonl", col.snapshot(),
+                               col.events)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records[0]["record"] == "meta"
+        assert records[-1]["record"] == "frame"
+        for record in records:
+            assert "time" not in record and "timestamp" not in record
+
+    def test_concatenated_traces_fold(self, tmp_path):
+        frame = TelemetryFrame(counters={"n": 2})
+        p1 = obs.write_trace(tmp_path / "a.jsonl", frame)
+        p2 = obs.write_trace(tmp_path / "b.jsonl", frame)
+        combined = tmp_path / "c.jsonl"
+        combined.write_text(p1.read_text() + p2.read_text())
+        assert obs.read_trace(combined).frame.counters["n"] == 4
+
+    def test_read_trace_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            obs.read_trace(bad)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="no frame record"):
+            obs.read_trace(empty)
+        wrong = tmp_path / "wrong.jsonl"
+        wrong.write_text(json.dumps({"record": "meta", "format": "other"}))
+        with pytest.raises(ValueError, match="not a repro-obs-trace"):
+            obs.read_trace(wrong)
+
+    def test_render_report_sections(self):
+        with obs.collecting() as col:
+            with obs.span("s"):
+                obs.count("c", 1)
+                obs.gauge("g", 3.0)
+                obs.observe("h", 0.5)
+        text = obs.render_report(col.snapshot())
+        for section in ("spans", "counters", "gauges", "histograms"):
+            assert section in text
+        assert "(no telemetry recorded)" in obs.render_report(
+            TelemetryFrame.empty())
+
+    def test_report_to_json_has_span_summary(self):
+        with obs.collecting() as col:
+            with obs.span("s"):
+                pass
+        payload = obs.report_to_json(col.snapshot())
+        assert payload["span_summary"]["s"]["calls"] == 1
+        json.dumps(payload)  # JSON-safe

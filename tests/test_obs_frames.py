@@ -1,0 +1,142 @@
+"""Property tests: TelemetryFrame merge is associative and commutative.
+
+Mirrors the ``PartialStats`` merge properties in ``test_engine.py``: the
+frame algebra is what makes telemetry independent of worker count and
+task grouping, so the integer fields (counters, histogram bucket counts,
+span/gauge call counts) must agree *exactly* under any merge order; the
+float sums agree up to FP reassociation.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.aggregate import (
+    GaugeStat,
+    HistogramState,
+    SpanStat,
+    TelemetryFrame,
+    merge_frames,
+)
+
+NAMES = st.sampled_from(["a", "b", "c", "d"])
+BOUNDS = (0.1, 1.0, 10.0)
+
+counters_st = st.dictionaries(NAMES, st.integers(0, 10**9), max_size=4)
+
+gauges_st = st.dictionaries(
+    NAMES,
+    st.builds(
+        lambda values: _fold_gauge(values),
+        st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1,
+                 max_size=5),
+    ),
+    max_size=4,
+)
+
+
+def _fold_gauge(values):
+    stat = GaugeStat.single(values[0])
+    for v in values[1:]:
+        stat = stat.merge(GaugeStat.single(v))
+    return stat
+
+
+histograms_st = st.dictionaries(
+    NAMES,
+    st.builds(
+        lambda counts, total: HistogramState(BOUNDS, tuple(counts), total),
+        st.lists(st.integers(0, 1000), min_size=len(BOUNDS) + 1,
+                 max_size=len(BOUNDS) + 1),
+        st.floats(0, 1e6, allow_nan=False),
+    ),
+    max_size=4,
+)
+
+spans_st = st.dictionaries(
+    NAMES,
+    st.builds(
+        lambda count, total, mx: SpanStat(count, total, mx),
+        st.integers(1, 1000),
+        st.floats(0, 1e3, allow_nan=False),
+        st.floats(0, 1e3, allow_nan=False),
+    ),
+    max_size=4,
+)
+
+frames_st = st.builds(
+    TelemetryFrame,
+    counters=counters_st,
+    gauges=gauges_st,
+    histograms=histograms_st,
+    spans=spans_st,
+    dropped_events=st.integers(0, 100),
+)
+
+
+def assert_frames_equal(x: TelemetryFrame, y: TelemetryFrame) -> None:
+    """Exact on every integer field, approx on float sums."""
+    assert x.counters == y.counters
+    assert x.dropped_events == y.dropped_events
+    assert set(x.gauges) == set(y.gauges)
+    for name, g in x.gauges.items():
+        h = y.gauges[name]
+        assert g.count == h.count
+        assert g.min == h.min and g.max == h.max
+        assert g.total == pytest.approx(h.total)
+    assert set(x.histograms) == set(y.histograms)
+    for name, a in x.histograms.items():
+        b = y.histograms[name]
+        assert a.bounds == b.bounds
+        assert a.counts == b.counts  # exact: bucket counts are integers
+        assert a.total == pytest.approx(b.total)
+    assert set(x.spans) == set(y.spans)
+    for name, s in x.spans.items():
+        t = y.spans[name]
+        assert s.count == t.count
+        assert s.max_s == t.max_s
+        assert s.total_s == pytest.approx(t.total_s)
+
+
+@given(frames_st, frames_st)
+def test_merge_is_commutative(f1, f2):
+    assert_frames_equal(f1.merge(f2), f2.merge(f1))
+
+
+@given(frames_st, frames_st, frames_st)
+def test_merge_is_associative(f1, f2, f3):
+    assert_frames_equal((f1.merge(f2)).merge(f3), f1.merge(f2.merge(f3)))
+
+
+@given(frames_st)
+def test_empty_is_identity(frame):
+    assert_frames_equal(frame.merge(TelemetryFrame.empty()), frame)
+    assert_frames_equal(TelemetryFrame.empty().merge(frame), frame)
+
+
+@given(st.lists(frames_st, max_size=4))
+def test_merge_frames_equals_pairwise_fold(frames):
+    folded = merge_frames(frames)
+    acc = TelemetryFrame.empty()
+    for frame in frames:
+        acc = acc.merge(frame)
+    assert_frames_equal(folded, acc)
+
+
+@given(frames_st)
+def test_dict_round_trip_preserves_merge_identity(frame):
+    assert_frames_equal(TelemetryFrame.from_dict(frame.to_dict()), frame)
+
+
+def test_histogram_bound_mismatch_raises():
+    a = HistogramState.zero((1.0, 2.0))
+    b = HistogramState.zero((1.0, 3.0))
+    with pytest.raises(ValueError, match="different bounds"):
+        a.merge(b)
+
+
+def test_histogram_shape_validation():
+    with pytest.raises(ValueError, match="buckets"):
+        HistogramState(bounds=(1.0,), counts=(0,), total=0.0)
+    with pytest.raises(ValueError, match="sorted"):
+        HistogramState.zero((2.0, 1.0))

@@ -79,3 +79,54 @@ class TestController:
         ctl = AccuracyController(ladder, error_budget=0.05, chunk=20_000)
         trace = ctl.run(a, b, start_mode=1)
         assert trace.flag_rate_per_chunk[0] >= trace.error_rate - 1e-9
+
+
+class TestControllerEdgeCases:
+    def test_empty_operand_stream(self, ladder):
+        ctl = AccuracyController(ladder, error_budget=0.05)
+        trace = ctl.run(np.empty(0, dtype=np.int64),
+                        np.empty(0, dtype=np.int64))
+        assert trace.mode_per_chunk == []
+        assert trace.flag_rate_per_chunk == []
+        assert trace.error_rate == 0.0
+        assert trace.mean_delay_ns == 0.0
+        assert trace.switches == 0
+
+    def test_zero_error_budget_pins_most_accurate_mode(self, ladder):
+        # budget 0: any flagged chunk escalates; stepping down requires a
+        # flag rate below margin*0 = 0, which never happens, so the
+        # controller is a ratchet toward the slowest (most accurate) mode.
+        a, b = UniformOperands(16).sample_pairs(30_000, seed=6)
+        ctl = AccuracyController(ladder, error_budget=0.0, chunk=1024)
+        trace = ctl.run(a, b, start_mode=0)
+        assert trace.mode_per_chunk == sorted(trace.mode_per_chunk)
+        assert trace.mode_per_chunk[-1] == len(ladder) - 1
+
+    def test_single_mode_ladder_never_switches(self):
+        ladder = build_mode_ladder(16, 4, [4])
+        assert len(ladder) == 1
+        a, b = UniformOperands(16).sample_pairs(20_000, seed=7)
+        for budget in (0.0, 0.001, 0.9):
+            trace = AccuracyController(ladder, budget, chunk=1024).run(a, b)
+            assert trace.switches == 0
+            assert set(trace.mode_per_chunk) == {0}
+            assert trace.mean_delay_ns == pytest.approx(ladder[0].delay_ns)
+
+    def test_always_satisfied_budget_stays_on_fastest_mode(self, ladder):
+        # Zero operands raise no detection flags, so with any positive
+        # budget the controller must never leave the fastest mode.
+        n = 20_000
+        a = np.zeros(n, dtype=np.int64)
+        b = np.zeros(n, dtype=np.int64)
+        ctl = AccuracyController(ladder, error_budget=0.01, chunk=1024)
+        trace = ctl.run(a, b, start_mode=0)
+        assert set(trace.mode_per_chunk) == {0}
+        assert trace.switches == 0
+        assert trace.error_rate == 0.0
+        assert trace.mean_delay_ns == pytest.approx(ladder[0].delay_ns)
+
+    def test_stream_shorter_than_chunk(self, ladder):
+        a, b = UniformOperands(16).sample_pairs(100, seed=8)
+        trace = AccuracyController(ladder, 0.05, chunk=1024).run(a, b)
+        assert len(trace.mode_per_chunk) == 1
+        assert 0.0 <= trace.flag_rate_per_chunk[0] <= 1.0
