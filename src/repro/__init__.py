@@ -14,7 +14,7 @@ Package map:
 * ``repro.core`` — GeAr model, error probability, correction, design space
 * ``repro.adders`` — RCA, CLA, ACA-I/II, ETAI/II/IIM, GDA, LOA baselines
 * ``repro.rtl`` — gate-level netlists, STA, LUT estimation, Verilog I/O
-* ``repro.metrics`` — ED/MED/NED/ACC/MAA metrics, Monte-Carlo, exhaustive
+* ``repro.metrics`` — ED/MED/NED/ACC/MAA metrics, exhaustive evaluation
 * ``repro.timing`` — FPGA characterisation and Table-IV execution model
 * ``repro.apps`` — Image Integral, SAD, LPF kernels on synthetic images
 * ``repro.analysis`` — sweeps, Pareto fronts, table rendering

@@ -8,25 +8,22 @@ from __future__ import annotations
 
 from repro.adders.base import WindowedSpeculativeAdder
 from repro.core.gear import GeArConfig
+from repro.spec.catalog import aca1_spec
 
 
 class AlmostCorrectAdder(WindowedSpeculativeAdder):
-    """ACA-I with sub-adder length ``sub_adder_len``.
+    """ACA-I with sub-adder length ``sub_adder_len`` — a thin wrapper over
+    its declarative spec.
 
     The one-bit shift means N - L + 1 sub-adders and large input fan-out —
     the area overhead the paper notes in §2.
     """
 
     def __init__(self, width: int, sub_adder_len: int) -> None:
-        if sub_adder_len < 2:
-            raise ValueError("ACA-I needs sub_adder_len >= 2")
-        if sub_adder_len > width:
-            raise ValueError(
-                f"sub_adder_len {sub_adder_len} exceeds operand width {width}"
-            )
+        self.spec = aca1_spec(width, sub_adder_len)
         self.config = GeArConfig(width, 1, sub_adder_len - 1)
         super().__init__(
-            width, f"ACA-I(N={width},L={sub_adder_len})", self.config.windows()
+            width, f"ACA-I(N={width},L={sub_adder_len})", self.spec.to_windows()
         )
         self.sub_adder_len = sub_adder_len
 
@@ -36,7 +33,7 @@ class AlmostCorrectAdder(WindowedSpeculativeAdder):
         return error_probability(self.config)
 
     def build_netlist(self):
-        from repro.rtl.builders import build_aca1
+        return self.spec.to_netlist()
 
-        return build_aca1(self.width, self.sub_adder_len,
-                          name=f"aca1_{self.width}_{self.sub_adder_len}")
+    def fingerprint(self) -> str:
+        return self.spec.fingerprint()

@@ -8,22 +8,19 @@ from __future__ import annotations
 
 from repro.adders.base import WindowedSpeculativeAdder
 from repro.core.gear import GeArConfig
+from repro.spec.catalog import aca2_spec
 
 
 class AccuracyConfigurableAdder(WindowedSpeculativeAdder):
-    """ACA-II with sub-adder length ``sub_adder_len`` (must be even)."""
+    """ACA-II with sub-adder length ``sub_adder_len`` (must be even) — a
+    thin wrapper over its declarative spec."""
 
     def __init__(self, width: int, sub_adder_len: int, allow_partial: bool = False) -> None:
-        if sub_adder_len % 2 != 0:
-            raise ValueError("ACA-II needs an even sub-adder length")
-        if sub_adder_len > width:
-            raise ValueError(
-                f"sub_adder_len {sub_adder_len} exceeds operand width {width}"
-            )
+        self.spec = aca2_spec(width, sub_adder_len, allow_partial=allow_partial)
         half = sub_adder_len // 2
         self.config = GeArConfig(width, half, half, allow_partial=allow_partial)
         super().__init__(
-            width, f"ACA-II(N={width},L={sub_adder_len})", self.config.windows()
+            width, f"ACA-II(N={width},L={sub_adder_len})", self.spec.to_windows()
         )
         self.sub_adder_len = sub_adder_len
 
@@ -33,7 +30,7 @@ class AccuracyConfigurableAdder(WindowedSpeculativeAdder):
         return error_probability(self.config)
 
     def build_netlist(self):
-        from repro.rtl.builders import build_aca2
+        return self.spec.to_netlist()
 
-        return build_aca2(self.width, self.sub_adder_len,
-                          name=f"aca2_{self.width}_{self.sub_adder_len}")
+    def fingerprint(self) -> str:
+        return self.spec.fingerprint()

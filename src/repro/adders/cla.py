@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.adders.base import ExactAdder
+from repro.spec.catalog import exact_spec
 
 
 class CarryLookaheadAdder(ExactAdder):
@@ -12,13 +13,15 @@ class CarryLookaheadAdder(ExactAdder):
     chain for wide AND-OR trees.  On FPGAs those trees map to general LUTs
     rather than the dedicated carry chain, which is why GDA (whose
     prediction units are CLAs) is *slower* than RCA in Table I — the
-    netlist built here reproduces that inversion.
+    netlist compiled from the spec reproduces that inversion.
     """
 
     def __init__(self, width: int) -> None:
+        self.spec = exact_spec(width, "cla")
         super().__init__(width, f"CLA(N={width})")
 
     def build_netlist(self):
-        from repro.rtl.builders import build_cla
+        return self.spec.to_netlist()
 
-        return build_cla(self.width, name=f"cla_{self.width}")
+    def fingerprint(self) -> str:
+        return self.spec.fingerprint()

@@ -6,15 +6,15 @@ the top segments are linked so the most significant bits receive exact
 carries from a longer window, at the cost of a longer critical path.
 
 Model: the lowest segments behave exactly like ETAII; the top
-``connected`` segments merge into one exact block whose carry-in is still
-predicted over the L/2 bits below it.
+``connected`` segments merge into one accurate block whose carry-in is
+still generated over the L/2 bits below it.  The whole layout is declared
+by :func:`repro.spec.catalog.etaiim_spec` — this class is a thin wrapper.
 """
 
 from __future__ import annotations
 
-from typing import List
-
-from repro.adders.base import SpeculativeWindow, WindowedSpeculativeAdder
+from repro.adders.base import WindowedSpeculativeAdder
+from repro.spec.catalog import etaiim_spec
 
 
 class ErrorTolerantAdderIIM(WindowedSpeculativeAdder):
@@ -29,49 +29,17 @@ class ErrorTolerantAdderIIM(WindowedSpeculativeAdder):
     """
 
     def __init__(self, width: int, sub_adder_len: int, connected: int = 2) -> None:
-        if sub_adder_len % 2 != 0:
-            raise ValueError("ETAIIM needs an even sub-adder length")
-        half = sub_adder_len // 2
-        if width % half != 0:
-            raise ValueError(
-                f"width {width} must be a multiple of the segment size {half}"
-            )
-        segments = width // half
-        if not 1 <= connected <= segments:
-            raise ValueError(
-                f"connected must be in [1, {segments}], got {connected}"
-            )
+        self.spec = etaiim_spec(width, sub_adder_len, connected)
         self.sub_adder_len = sub_adder_len
         self.connected = connected
-
-        windows: List[SpeculativeWindow] = []
-        plain_segments = segments - connected
-        # First window: the initial exact L-bit window (two segments) when
-        # possible, else the merged block swallows everything.
-        if plain_segments >= 2:
-            windows.append(SpeculativeWindow(0, sub_adder_len - 1, 0, sub_adder_len - 1))
-            next_seg = 2
-        elif plain_segments == 1:
-            windows.append(SpeculativeWindow(0, half - 1, 0, half - 1))
-            next_seg = 1
-        else:
-            windows.append(SpeculativeWindow(0, width - 1, 0, width - 1))
-            next_seg = segments
-        # Middle windows: standard ETAII segments.
-        for seg in range(next_seg, plain_segments):
-            lo = (seg - 1) * half
-            windows.append(
-                SpeculativeWindow(lo, lo + sub_adder_len - 1, lo + half,
-                                  lo + sub_adder_len - 1)
-            )
-        # Top window: the merged accurate block with one predicted carry-in.
-        if next_seg < segments:
-            result_low = plain_segments * half
-            lo = max(0, result_low - half)
-            windows.append(SpeculativeWindow(lo, width - 1, result_low, width - 1))
-
         super().__init__(
             width,
             f"ETAIIM(N={width},L={sub_adder_len},conn={connected})",
-            windows,
+            self.spec.to_windows(),
         )
+
+    def build_netlist(self):
+        return self.spec.to_netlist()
+
+    def fingerprint(self) -> str:
+        return self.spec.fingerprint()

@@ -20,12 +20,13 @@ RCA behaviour, all approximate = the speculative adder above).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.adders.base import IntLike, SpeculativeWindow, WindowedSpeculativeAdder
+from repro.adders.base import IntLike, WindowedSpeculativeAdder
 from repro.core.gear import GeArConfig
+from repro.spec.catalog import gda_spec
 from repro.utils.bitvec import mask
 
 
@@ -42,23 +43,11 @@ class GracefullyDegradingAdder(WindowedSpeculativeAdder):
 
     def __init__(self, width: int, mb: int, mc: int,
                  enforce_multiple: bool = True) -> None:
-        if width % mb != 0:
-            raise ValueError(f"GDA needs width divisible by M_B: {width} % {mb} != 0")
-        if mc < 1 or mc > width - mb:
-            raise ValueError(f"M_C must be in [1, {width - mb}], got {mc}")
-        if enforce_multiple and mc % mb != 0:
-            raise ValueError(
-                f"GDA's hierarchical CLA needs M_C to be a multiple of M_B "
-                f"(got M_C={mc}, M_B={mb}); pass enforce_multiple=False to override"
-            )
+        self.spec = gda_spec(width, mb, mc, enforce_multiple=enforce_multiple)
         self.mb = mb
         self.mc = mc
-
-        windows: List[SpeculativeWindow] = []
-        for base in range(0, width, mb):
-            lo = max(0, base - mc)
-            windows.append(SpeculativeWindow(lo, base + mb - 1, base, base + mb - 1))
-        super().__init__(width, f"GDA(N={width},MB={mb},MC={mc})", windows)
+        super().__init__(width, f"GDA(N={width},MB={mb},MC={mc})",
+                         self.spec.to_windows())
 
     def error_probability(self) -> float:
         """§4.4 applies the GeAr error model to GDA at (R=M_B, P=M_C)."""
@@ -133,7 +122,7 @@ class GracefullyDegradingAdder(WindowedSpeculativeAdder):
         return result
 
     def build_netlist(self):
-        from repro.rtl.builders import build_gda
+        return self.spec.to_netlist()
 
-        return build_gda(self.width, self.mb, self.mc,
-                         name=f"gda_{self.width}_{self.mb}_{self.mc}")
+    def fingerprint(self) -> str:
+        return self.spec.fingerprint()

@@ -10,6 +10,7 @@ beat magnitude-truncating ones.
 from __future__ import annotations
 
 from repro.adders.base import AdderModel, IntLike
+from repro.spec.catalog import loa_spec
 from repro.utils.bitvec import mask
 
 
@@ -17,8 +18,7 @@ class LowerPartOrAdder(AdderModel):
     """LOA with ``approx_bits`` approximate low bits (0 disables)."""
 
     def __init__(self, width: int, approx_bits: int) -> None:
-        if not 0 <= approx_bits < width:
-            raise ValueError(f"approx_bits must be in [0, {width}), got {approx_bits}")
+        self.spec = loa_spec(width, approx_bits)
         super().__init__(width, f"LOA(N={width},approx={approx_bits})")
         self.approx_bits = approx_bits
 
@@ -40,7 +40,7 @@ class LowerPartOrAdder(AdderModel):
         return (1 << (self.approx_bits + 1)) - 1 if self.approx_bits else 0
 
     def build_netlist(self):
-        from repro.rtl.builders import build_loa
+        return self.spec.to_netlist()
 
-        return build_loa(self.width, self.approx_bits,
-                         name=f"loa_{self.width}_{self.approx_bits}")
+    def fingerprint(self) -> str:
+        return self.spec.fingerprint()

@@ -14,6 +14,7 @@ compare FPGA-vs-ASIC-style structures:
 from __future__ import annotations
 
 from repro.adders.base import ExactAdder
+from repro.spec.catalog import exact_spec
 from repro.utils.validation import check_pos_int
 
 
@@ -21,12 +22,14 @@ class KoggeStoneAdder(ExactAdder):
     """Exact N-bit Kogge-Stone parallel-prefix adder."""
 
     def __init__(self, width: int) -> None:
+        self.spec = exact_spec(width, "ksa")
         super().__init__(width, f"KSA(N={width})")
 
     def build_netlist(self):
-        from repro.rtl.builders import build_kogge_stone
+        return self.spec.to_netlist()
 
-        return build_kogge_stone(self.width, name=f"ksa_{self.width}")
+    def fingerprint(self) -> str:
+        return self.spec.fingerprint()
 
 
 class CarrySelectAdder(ExactAdder):

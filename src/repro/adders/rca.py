@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.adders.base import ExactAdder
+from repro.spec.catalog import exact_spec
 
 
 class RippleCarryAdder(ExactAdder):
@@ -10,13 +11,15 @@ class RippleCarryAdder(ExactAdder):
 
     The carry chain spans all N bits, so this adder anchors the delay
     comparison: every approximate adder must beat its critical path to be
-    worthwhile.
+    worthwhile.  A thin wrapper over the single-window ``rca`` spec.
     """
 
     def __init__(self, width: int) -> None:
+        self.spec = exact_spec(width, "rca")
         super().__init__(width, f"RCA(N={width})")
 
     def build_netlist(self):
-        from repro.rtl.builders import build_rca
+        return self.spec.to_netlist()
 
-        return build_rca(self.width, name=f"rca_{self.width}")
+    def fingerprint(self) -> str:
+        return self.spec.fingerprint()

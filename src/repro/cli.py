@@ -10,6 +10,7 @@ Commands mirror the paper's artefacts::
     gear experiment <name>    # any artefact by registry name
     gear ablation
     gear verify               # cross-layer conformance harness
+    gear spec list|show|lint  # the declarative AdderSpec catalog
     gear cache stats|clear    # shard-cache maintenance
     gear obs report t.jsonl   # re-summarize a saved telemetry trace
 
@@ -445,6 +446,87 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if all(report.ok for report in reports) else 1
 
 
+def _cmd_spec(args: argparse.Namespace) -> int:
+    from repro.spec.catalog import SPEC_CATALOG, catalog_spec
+
+    if args.spec_command == "list":
+        if args.json:
+            payload = []
+            for key, family in SPEC_CATALOG.items():
+                width = max(args.width, family.min_width)
+                try:
+                    fingerprint = family(width).fingerprint()
+                except ValueError:
+                    # Family undefined at this width (e.g. parity rules).
+                    width = fingerprint = None
+                payload.append({
+                    "key": key,
+                    "description": family.description,
+                    "min_width": family.min_width,
+                    "width": width,
+                    "fingerprint": fingerprint,
+                })
+            _print_json(payload)
+            return 0
+        for key, family in SPEC_CATALOG.items():
+            print(f"{key:14s} w>={family.min_width:<3d} {family.description}")
+        return 0
+
+    if args.spec_command == "show":
+        try:
+            spec = catalog_spec(args.key, args.width)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            _print_json(spec.to_dict())
+            return 0
+        print(spec.describe())
+        print(f"fingerprint: {spec.fingerprint()}")
+        if spec.truncation:
+            print(f"truncated OR part: S[{spec.truncation - 1}:0] = A | B")
+        print("windows (low..high -> result bits):")
+        for i, w in enumerate(spec.windows, start=1):
+            tag = w.arch if w.pred == "fused" else f"{w.arch}+{w.pred}"
+            print(f"  window {i}: [{w.high}:{w.low}] -> "
+                  f"S[{w.result_high}:{w.result_low}] ({tag}, P={w.prediction_bits})")
+        terms = spec.to_error_terms()
+        ep = terms.error_probability()
+        if ep is not None:
+            print(f"error probability (exact DP): {ep:.8f}")
+        print(f"max error distance          : {terms.max_error_distance()}")
+        return 0
+
+    # spec lint: compile each family's netlist and run the lint rules.
+    from repro.rtl.lint import Severity, lint_netlist
+
+    if args.key == "all":
+        keys = list(SPEC_CATALOG)
+    elif args.key in SPEC_CATALOG:
+        keys = [args.key]
+    else:
+        print(f"error: unknown spec family {args.key!r}; known: "
+              f"{', '.join(sorted(SPEC_CATALOG))}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for key in keys:
+        family = SPEC_CATALOG[key]
+        width = max(args.width, family.min_width)
+        try:
+            spec = family(width)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = lint_netlist(spec.to_netlist())
+        label = f"{key} w={width}"
+        lines = report.format_text().splitlines()
+        lines[0] = f"{label}: {lines[0].split(': ', 1)[1]}"
+        print("\n".join(lines))
+        failed = failed or not report.ok(fail_on=Severity.from_label("error"))
+    return 1 if failed else 0
+
+
 def _cmd_ablation(args: argparse.Namespace) -> int:
     from repro.engine import use_engine
     from repro.experiments import EXPERIMENTS
@@ -653,6 +735,37 @@ def build_parser() -> argparse.ArgumentParser:
                         "the stats layer at widths beyond the exhaustive cap")
     _add_engine_flags(verify)
     verify.set_defaults(func=_cmd_verify)
+
+    spec_parser = sub.add_parser(
+        "spec",
+        help="the declarative AdderSpec catalog (list / show / lint)",
+        description="Inspect the AdderSpec IR catalog — the single "
+        "declarative source that the behavioural models, the netlist "
+        "builders, the analytic error terms and the conformance registry "
+        "are all compiled from (see docs/spec.md).",
+    )
+    spec_sub = spec_parser.add_subparsers(dest="spec_command", required=True)
+    spec_list = spec_sub.add_parser(
+        "list", help="catalog families, minimum widths and fingerprints")
+    spec_list.add_argument("--width", type=int, default=8, metavar="N",
+                           help="width for --json fingerprints (families "
+                           "with a larger minimum use that instead)")
+    spec_list.add_argument("--json", action="store_true",
+                           help="machine-readable listing with fingerprints")
+    spec_list.set_defaults(func=_cmd_spec)
+    spec_show = spec_sub.add_parser(
+        "show", help="one family's full spec at a given width")
+    spec_show.add_argument("key", help="catalog key (see 'gear spec list')")
+    spec_show.add_argument("--width", type=int, default=8, metavar="N")
+    spec_show.add_argument("--json", action="store_true",
+                           help="the round-trippable spec JSON document")
+    spec_show.set_defaults(func=_cmd_spec)
+    spec_lint = spec_sub.add_parser(
+        "lint", help="compile each spec to a netlist and lint it")
+    spec_lint.add_argument("key", nargs="?", default="all",
+                           help="catalog key (default: the whole catalog)")
+    spec_lint.add_argument("--width", type=int, default=8, metavar="N")
+    spec_lint.set_defaults(func=_cmd_spec)
 
     ablation = sub.add_parser("ablation", help="run both ablation studies")
     ablation.add_argument("--json", action="store_true",

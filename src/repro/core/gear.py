@@ -153,6 +153,18 @@ class GeArAdder(WindowedSpeculativeAdder):
     def is_exact(self) -> bool:
         return self.config.is_exact
 
+    @property
+    def spec(self):
+        """The declarative IR of this configuration (see :mod:`repro.spec`).
+
+        Computed lazily: the spec catalog itself builds GeAr windows from
+        :class:`GeArConfig`, so this module cannot import it at load time.
+        """
+        from repro.spec.catalog import gear_spec
+
+        cfg = self.config
+        return gear_spec(cfg.n, cfg.r, cfg.p, allow_partial=cfg.allow_partial)
+
     def error_probability(self) -> float:
         """Analytic error probability from the paper's model (§3.2)."""
         from repro.core.error_model import error_probability
@@ -160,13 +172,7 @@ class GeArAdder(WindowedSpeculativeAdder):
         return error_probability(self.config)
 
     def build_netlist(self):
-        from repro.rtl.builders import build_gear
+        return self.spec.to_netlist()
 
-        name = f"gear_{self.config.n}_{self.config.r}_{self.config.p}"
-        return build_gear(
-            self.config.n,
-            self.config.r,
-            self.config.p,
-            name=name,
-            allow_partial=self.config.allow_partial,
-        )
+    def fingerprint(self) -> str:
+        return self.spec.fingerprint()

@@ -8,8 +8,8 @@ evaluation in the library (see ``docs/engine.md``):
 * :class:`Engine` — shard planning, serial or multi-process execution,
   content-addressed shard caching and ordered merging,
 * :func:`evaluate` / :func:`get_default_engine` / :func:`use_engine` —
-  process-default engine plumbing used by the CLI and the legacy
-  ``repro.metrics`` wrappers.
+  process-default engine plumbing used by the CLI and the
+  ``repro.metrics`` helpers.
 """
 
 from repro.engine.api import (

@@ -3,9 +3,9 @@
 Every accuracy evaluation in the library — Monte-Carlo sampling,
 exhaustive enumeration, or scoring a pair of precomputed output arrays —
 is expressed as one :class:`EvalRequest` and answered with one
-:class:`EvalResult`.  The legacy helpers (``monte_carlo_stats``,
-``simulate_error_probability``, ``exhaustive_stats``) are thin wrappers
-that build a request, hand it to the default :class:`~repro.engine.Engine`
+:class:`EvalResult`.  Convenience helpers such as
+:func:`repro.metrics.exhaustive.exhaustive_stats` are thin wrappers that
+build a request, hand it to the default :class:`~repro.engine.Engine`
 and unpack the result.
 
 ``METRICS_VERSION`` participates in every cache key: bump it whenever the

@@ -13,8 +13,8 @@
    (:mod:`repro.engine.merge`), so the merged floating-point sums are
    bit-identical at any ``jobs``/``chunk`` setting.
 
-The module also owns the process-wide default engine used by the legacy
-wrappers (``monte_carlo_stats`` et al.); the CLI installs a configured
+The module also owns the process-wide default engine used by
+module-level :func:`evaluate` callers; the CLI installs a configured
 engine via :func:`use_engine` for the duration of a command.
 """
 

@@ -15,8 +15,7 @@ from repro.analysis.tables import format_table
 from repro.core.error_model import error_probability, error_probability_exact
 from repro.core.gear import GeArAdder, GeArConfig
 from repro.experiments.result import ExperimentResult
-from repro.metrics.simulate import PAPER_SAMPLE_COUNT
-from repro.paperdata import TABLE3_ERROR_PROBABILITY
+from repro.paperdata import PAPER_SAMPLE_COUNT, TABLE3_ERROR_PROBABILITY
 
 TABLE3_HEADERS = ("n", "r", "p", "k", "analytic_pct", "exact_pct",
                   "simulated_pct", "samples", "consistent",

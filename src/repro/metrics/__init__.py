@@ -1,4 +1,10 @@
-"""Error metrics, Monte-Carlo simulation and exhaustive evaluation."""
+"""Error metrics and exhaustive evaluation.
+
+Monte-Carlo evaluation lives in :mod:`repro.engine`: build an
+:class:`~repro.engine.EvalRequest` and call
+:func:`~repro.engine.evaluate` (the deprecated ``metrics.simulate``
+wrappers were removed once the engine became the only sampling path).
+"""
 
 from repro.metrics.error_metrics import (
     ErrorStats,
@@ -7,11 +13,6 @@ from repro.metrics.error_metrics import (
     accuracy_information,
     compute_error_stats,
     error_distances,
-)
-from repro.metrics.simulate import (
-    SimulationReport,
-    monte_carlo_stats,
-    simulate_error_probability,
 )
 from repro.metrics.exhaustive import exhaustive_stats, exhaustive_error_probability
 from repro.metrics.confidence import (
@@ -29,9 +30,6 @@ __all__ = [
     "accuracy_information",
     "compute_error_stats",
     "error_distances",
-    "SimulationReport",
-    "monte_carlo_stats",
-    "simulate_error_probability",
     "exhaustive_stats",
     "exhaustive_error_probability",
     "Interval",

@@ -27,7 +27,8 @@ def _check_width(width: int) -> None:
     if width > MAX_EXHAUSTIVE_WIDTH:
         raise ValueError(
             f"width {width} too large for exhaustive evaluation "
-            f"(max {MAX_EXHAUSTIVE_WIDTH}); use monte_carlo_stats instead"
+            f"(max {MAX_EXHAUSTIVE_WIDTH}); sample through "
+            "repro.engine.evaluate(mode='monte_carlo') instead"
         )
 
 

@@ -16,6 +16,9 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+#: Sample count used by the paper for Table III's simulation column (§4.4).
+PAPER_SAMPLE_COUNT = 10_000
+
 # --------------------------------------------------------------------- #
 # Table III — analytic vs simulated error probability (percent).
 # Key: (N, R, P).  ``paper_k`` is the k column as printed; ``k`` is Eq. 1.

@@ -95,12 +95,9 @@ def _ripple_chain(
 def build_rca(width: int, name: str = "rca") -> Netlist:
     """N-bit ripple-carry adder; output ``S`` is N+1 bits."""
     check_pos_int("width", width)
-    nl = Netlist(name)
-    a = nl.add_input_bus("A", width)
-    b = nl.add_input_bus("B", width)
-    sums, cout = _ripple_chain(nl, a, b)
-    nl.set_output_bus("S", sums + [cout])
-    return nl
+    from repro.spec.catalog import exact_spec
+
+    return build_spec(exact_spec(width, "rca", name=name))
 
 
 def build_cla(width: int, name: str = "cla") -> Netlist:
@@ -112,15 +109,9 @@ def build_cla(width: int, name: str = "cla") -> Netlist:
     prediction slow on an FPGA.
     """
     check_pos_int("width", width)
-    nl = Netlist(name)
-    a = nl.add_input_bus("A", width)
-    b = nl.add_input_bus("B", width)
-    g = [nl.and_(a[i], b[i]) for i in range(width)]
-    p = [nl.xor(a[i], b[i]) for i in range(width)]
-    carries = _lookahead_carries(nl, g, p)
-    sums = [p[0]] + [nl.xor(p[i], carries[i - 1]) for i in range(1, width)]
-    nl.set_output_bus("S", sums + [carries[width - 1]])
-    return nl
+    from repro.spec.catalog import exact_spec
+
+    return build_spec(exact_spec(width, "cla", name=name))
 
 
 def _lookahead_carries(
@@ -153,51 +144,87 @@ def _lookahead_carries(
     return carries
 
 
-def build_kogge_stone(width: int, name: str = "ksa") -> Netlist:
-    """N-bit Kogge-Stone parallel-prefix adder; output ``S`` is N+1 bits.
+def _prefix_window(
+    nl: Netlist,
+    a_nets: Sequence[str],
+    b_nets: Sequence[str],
+    drop_sums: int = 0,
+    emit_cout: bool = True,
+) -> Tuple[List[Optional[str]], Optional[str]]:
+    """Kogge-Stone parallel-prefix addition over parallel net lists.
 
     log2(N) prefix levels of (generate, propagate) merges.  On ASICs this
     is the classic fast adder; on FPGAs the prefix network maps to generic
     LUTs and loses to the dedicated carry chain — the same effect that
     penalises GDA's CLA prediction (§4.2).
+
+    ``drop_sums`` / ``emit_cout`` behave as in :func:`_ripple_chain`.  A
+    prefix network's lanes are independent sum-of-products, so dropping
+    sums prunes whole lanes: the backward needs-analysis walks the levels
+    in reverse, recording which (level, index) generate *and* propagate
+    merges are ever consumed — building the rest is exactly the dead logic
+    the lint pass flags.
     """
-    check_pos_int("width", width)
-    nl = Netlist(name)
-    a = nl.add_input_bus("A", width)
-    b = nl.add_input_bus("B", width)
-    g = [nl.and_(a[i], b[i]) for i in range(width)]
-    p = [nl.xor(a[i], b[i]) for i in range(width)]
+    if len(a_nets) != len(b_nets):
+        raise ValueError("operand net lists must have equal length")
+    width = len(a_nets)
     levels: List[int] = []
     dist = 1
     while dist < width:
         levels.append(dist)
         dist <<= 1
-    # Merged propagates only feed later propagate merges (generate merges
-    # read the *current* level's prop), so walk the levels backwards to
-    # find which (level, index) merges are ever consumed; building the rest
-    # is exactly the dead logic the lint pass flags.
-    create: Dict[int, set] = {}
-    needs: set = set()
+    # Final consumers: sum bit i reads gen[i-1]; the carry out reads the
+    # top lane.  Walk levels backwards: a merge at (d, i) reads the
+    # previous level's gen/prop at i and i-d, and merged propagates feed
+    # both later propagate merges and generate merges at the same lane.
+    need_gen = {i - 1 for i in range(max(1, drop_sums), width)}
+    if emit_cout:
+        need_gen.add(width - 1)
+    need_prop: set = set()
+    plan: List[Tuple[int, set, set]] = []
     for d in reversed(levels):
-        create[d] = {i for i in range(d, width) if i in needs}
-        reads = set(range(d, width)) | {i - d for i in create[d]}
-        needs = reads | (needs - create[d])
+        gen_m = {i for i in need_gen if i >= d}
+        prop_m = {i for i in need_prop if i >= d}
+        need_gen |= {i - d for i in gen_m}
+        need_prop |= {i - d for i in prop_m} | gen_m
+        plan.append((d, gen_m, prop_m))
+    plan.reverse()
 
-    prop = list(p)
-    gen = list(g)
-    for d in levels:
-        new_gen = list(gen)
-        new_prop = list(prop)
-        for i in range(d, width):
+    base_prop = need_prop | set(range(drop_sums, width))
+    gen: Dict[int, str] = {
+        i: nl.and_(a_nets[i], b_nets[i]) for i in sorted(need_gen)
+    }
+    prop: Dict[int, str] = {
+        i: nl.xor(a_nets[i], b_nets[i]) for i in sorted(base_prop)
+    }
+    base = dict(prop)
+    for d, gen_m, prop_m in plan:
+        new_gen = dict(gen)
+        new_prop = dict(prop)
+        for i in sorted(gen_m | prop_m):
             # (g, p) ∘ (g', p') = (g | p·g', p·p')
-            new_gen[i] = nl.or_(gen[i], nl.and_(prop[i], gen[i - d]))
-            if i in create[d]:
+            if i in gen_m:
+                new_gen[i] = nl.or_(gen[i], nl.and_(prop[i], gen[i - d]))
+            if i in prop_m:
                 new_prop[i] = nl.and_(prop[i], prop[i - d])
         gen, prop = new_gen, new_prop
     # gen[i] is now the carry out of bit i (cin = 0).
-    sums = [p[0]] + [nl.xor(p[i], gen[i - 1]) for i in range(1, width)]
-    nl.set_output_bus("S", sums + [gen[width - 1]])
-    return nl
+    sums: List[Optional[str]] = [None] * drop_sums
+    for i in range(drop_sums, width):
+        sums.append(base[i] if i == 0 else nl.xor(base[i], gen[i - 1]))
+    return sums, gen[width - 1] if emit_cout else None
+
+
+def build_kogge_stone(width: int, name: str = "ksa") -> Netlist:
+    """N-bit Kogge-Stone parallel-prefix adder; output ``S`` is N+1 bits.
+
+    See :func:`_prefix_window` for the structure (and why it loses to the
+    carry chain on FPGAs).
+    """
+    check_pos_int("width", width)
+    from repro.spec.catalog import exact_spec
+
+    return build_spec(exact_spec(width, "ksa", name=name))
 
 
 def build_carry_select(width: int, block: int = 4, name: str = "csla") -> Netlist:
@@ -262,30 +289,43 @@ def build_carry_skip(width: int, block: int = 4, name: str = "cska") -> Netlist:
 
 
 def _window_sum(netlist: Netlist, a_nets: Sequence[str], b_nets: Sequence[str],
-                style: str, drop_sums: int = 0,
-                emit_cout: bool = True) -> Tuple[List[Optional[str]], Optional[str]]:
-    """Sub-adder implementation selector for GeAr windows (§4.4 remark:
-    the model is not specific to any sub-adder type).
+                style: str, drop_sums: int = 0, emit_cout: bool = True,
+                cin: Optional[str] = None) -> Tuple[List[Optional[str]], Optional[str]]:
+    """Sub-adder implementation selector for speculative windows (§4.4
+    remark: the model is not specific to any sub-adder type).
 
     ``drop_sums`` / ``emit_cout`` behave as in :func:`_ripple_chain`: sum
     bits under the prediction field and unused carry outs are simply not
-    built, keeping every generated netlist free of dead logic.
+    built, keeping every generated netlist free of dead logic.  An external
+    ``cin`` (the LOA truncation carry, or an ETAII/GDA carry generator's
+    output) is only meaningful for a ripple window — the lookahead and
+    prefix expansions assume cin = 0.
     """
+    if cin is not None and style != "rca":
+        raise ValueError("only 'rca' windows accept an external carry-in")
     if style == "rca":
-        return _ripple_chain(netlist, a_nets, b_nets,
+        return _ripple_chain(netlist, a_nets, b_nets, cin=cin,
                              drop_sums=drop_sums, emit_cout=emit_cout)
     if style == "cla":
         n = len(a_nets)
-        g = [netlist.and_(x, y) for x, y in zip(a_nets, b_nets)]
-        # p[0] only ever feeds sum bit 0 (the lookahead expansion reads
-        # p[1:] exclusively), so skip it when that sum is dropped.
-        p: List[Optional[str]] = [
-            netlist.xor(x, y) if (i > 0 or drop_sums == 0) else None
-            for i, (x, y) in enumerate(zip(a_nets, b_nets))
-        ]
         needed = {i - 1 for i in range(max(1, drop_sums), n)}
         if emit_cout:
             needed.add(n - 1)
+        # g[j] / p[j] only appear in the expansions of carries up to the
+        # highest requested one; anything above that would be dead logic.
+        top = max(needed) if needed else -1
+        g: List[Optional[str]] = [
+            netlist.and_(x, y) if i <= top else None
+            for i, (x, y) in enumerate(zip(a_nets, b_nets))
+        ]
+        # p[0] only ever feeds sum bit 0 (the lookahead expansion reads
+        # p[1:] exclusively), so skip it when that sum is dropped.
+        p: List[Optional[str]] = [
+            netlist.xor(x, y)
+            if (i > 0 and (i <= top or i >= drop_sums)) or (i == 0 and drop_sums == 0)
+            else None
+            for i, (x, y) in enumerate(zip(a_nets, b_nets))
+        ]
         carries = _lookahead_carries(netlist, g, p, needed=sorted(needed))
         sums: List[Optional[str]] = [p[0] if drop_sums == 0 else None]
         for i in range(1, n):
@@ -294,7 +334,98 @@ def _window_sum(netlist: Netlist, a_nets: Sequence[str], b_nets: Sequence[str],
             else:
                 sums.append(None)
         return sums, carries[-1] if emit_cout else None
-    raise ValueError(f"unknown sub-adder style {style!r}; use 'rca' or 'cla'")
+    if style == "ksa":
+        return _prefix_window(netlist, a_nets, b_nets,
+                              drop_sums=drop_sums, emit_cout=emit_cout)
+    raise ValueError(
+        f"unknown sub-adder style {style!r}; use 'rca', 'cla' or 'ksa'"
+    )
+
+
+def build_spec(spec: "AdderSpec") -> Netlist:  # noqa: F821
+    """Compile an :class:`~repro.spec.ir.AdderSpec` into a netlist.
+
+    This is *the* generic windowed-adder compiler: every speculative family
+    (GeAr, ACA-I/II, ETAII, ETAIIM, GDA, LOA, heterogeneous mixes) and every
+    exact baseline (RCA, CLA, KSA — a single full-width window) is one walk
+    over the spec's windows.  Per window:
+
+    * ``pred == "fused"`` — one sub-adder over ``[low, high]`` whose low
+      prediction bits feed the carry chain but produce no sums (GeAr/ACA
+      style, Fig. 2);
+    * ``pred == "gen_rca"`` — a dedicated ripple carry generator over the
+      prediction bits feeds a separate sum unit (ETAII style: the
+      duplicated hardware behind Table I's 28-vs-24 LUT gap);
+    * ``pred == "gen_cla"`` — a flat lookahead predicts the boundary carry
+      (GDA style: the wide product terms behind §4.2's delay penalty).
+
+    ``truncation`` OR-reduces the low bits and injects the LOA carry rule;
+    ``error_detect`` emits the §3.3 ``ERR`` bus (``cp_i AND co_{i-1}``).
+    Needs-analysis in the sub-adder helpers keeps the output free of dead
+    logic for any window mix.
+    """
+    nl = Netlist(spec.name)
+    n = spec.width
+    a = nl.add_input_bus("A", n)
+    b = nl.add_input_bus("B", n)
+
+    t = spec.truncation
+    result: List[Optional[str]] = [None] * n
+    for i in range(t):
+        result[i] = nl.or_(a[i], b[i])
+    trunc_cin = nl.and_(a[t - 1], b[t - 1]) if t else None
+
+    windows = spec.windows
+    detect = spec.error_detect
+    carry_outs: List[Optional[str]] = []
+    predicts: List[Optional[str]] = []
+
+    for i, w in enumerate(windows):
+        is_last = i == len(windows) - 1
+        pred = w.prediction_bits
+        if w.pred == "gen_rca" and pred:
+            # Dedicated carry generator over the prediction span: its own
+            # carry chain, so its propagate LUTs cannot be shared with a
+            # sum unit covering the same bits (distinct p_group).
+            _, cin = _ripple_chain(nl, a[w.low : w.result_low],
+                                   b[w.low : w.result_low],
+                                   p_group="carrygen", drop_sums=pred)
+        elif w.pred == "gen_cla" and pred:
+            g = [nl.and_(a[j], b[j]) for j in range(w.low, w.result_low)]
+            # Only the boundary carry is predicted; p[0] never appears in
+            # its expansion, and intermediate carries are not consumed.
+            p: List[Optional[str]] = [None] + [
+                nl.xor(a[j], b[j]) for j in range(w.low + 1, w.result_low)
+            ]
+            cin = _lookahead_carries(nl, g, p, needed=[pred - 1])[-1]
+        else:
+            cin = trunc_cin if i == 0 else None
+        # Fused windows span the prediction bits themselves; generator
+        # windows delegate them and sum only the result field.
+        lo, drop = (w.low, pred) if w.pred == "fused" else (w.result_low, 0)
+        # A window's carry out is consumed by the §3.3 detector of the next
+        # sub-adder (when detection is on) and, for the last window, by the
+        # sum MSB; otherwise it is not built at all.
+        sums, cout = _window_sum(
+            nl, a[lo : w.high + 1], b[lo : w.high + 1], w.arch,
+            drop_sums=drop, emit_cout=is_last or detect, cin=cin,
+        )
+        result[w.result_low : w.result_high + 1] = sums[drop:]
+        carry_outs.append(cout)
+        if detect and i > 0:
+            prop_bits = [nl.xor(a[w.low + j], b[w.low + j]) for j in range(pred)]
+            predicts.append(_tree(nl, Op.AND, prop_bits))
+        else:
+            predicts.append(None)
+
+    nl.set_output_bus("S", result + [carry_outs[-1]])
+    if detect:
+        err = [
+            nl.and_(predicts[i], carry_outs[i - 1])
+            for i in range(1, len(windows))
+        ]
+        nl.set_output_bus("ERR", err)
+    return nl
 
 
 def build_gear(
@@ -306,60 +437,21 @@ def build_gear(
     allow_partial: bool = False,
     sub_adder: str = "rca",
 ) -> Netlist:
-    """GeAr(N, R, P) netlist per §3.1 (Fig. 2).
+    """GeAr(N, R, P) netlist per §3.1 (Fig. 2) — compiled from its spec.
 
-    The first sub-adder is an L-bit ripple chain contributing L result bits;
-    every subsequent sub-adder is an L-bit ripple chain whose top R sum bits
+    The first sub-adder is an L-bit chain contributing L result bits;
+    every subsequent sub-adder is an L-bit chain whose top R sum bits
     contribute to the result and whose low P bits only predict the carry.
     When ``with_error_detect`` is set, output bus ``ERR`` carries one flag
     per speculative sub-adder: ``cp_i AND co_{i-1}`` (§3.3), where ``cp_i``
     is the AND of the P propagate bits (Eq. 4) and ``co_{i-1}`` the previous
     sub-adder's true carry out.
     """
-    from repro.core.gear import GeArConfig  # local import to avoid a cycle
+    from repro.spec.catalog import gear_spec
 
-    cfg = GeArConfig(n, r, p, allow_partial=allow_partial)
-    nl = Netlist(name)
-    a = nl.add_input_bus("A", n)
-    b = nl.add_input_bus("B", n)
-
-    detect = with_error_detect and cfg.k > 1
-    windows = cfg.windows()
-    result: List[str] = [""] * n
-    carry_outs: List[Optional[str]] = []
-    predicts: List[Optional[str]] = []
-
-    for i, window in enumerate(windows):
-        lo, hi = window.low, window.high
-        is_last = i == len(windows) - 1
-        pred = 0 if i == 0 else window.prediction_bits
-        # A window's carry out is consumed by the §3.3 detector of the next
-        # sub-adder (when detection is on) and, for the last window, by the
-        # sum MSB; otherwise it is not built at all.
-        sums, cout = _window_sum(
-            nl, a[lo : hi + 1], b[lo : hi + 1], sub_adder,
-            drop_sums=pred, emit_cout=is_last or detect,
-        )
-        carry_outs.append(cout)
-        if i == 0:
-            result[lo : hi + 1] = sums
-            predicts.append(None)  # first sub-adder predicts nothing
-        else:
-            result[window.result_low : window.result_high + 1] = sums[pred:]
-            if detect:
-                prop_bits = [nl.xor(a[lo + j], b[lo + j]) for j in range(pred)]
-                predicts.append(_tree(nl, Op.AND, prop_bits))
-            else:
-                predicts.append(None)
-
-    nl.set_output_bus("S", result + [carry_outs[-1]])
-    if detect:
-        err = [
-            nl.and_(predicts[i], carry_outs[i - 1])
-            for i in range(1, cfg.k)
-        ]
-        nl.set_output_bus("ERR", err)
-    return nl
+    return build_spec(gear_spec(n, r, p, allow_partial=allow_partial,
+                                arch=sub_adder, error_detect=with_error_detect,
+                                name=name))
 
 
 def build_etaii(n: int, sub_adder_len: int, name: str = "etaii") -> Netlist:
@@ -373,56 +465,26 @@ def build_etaii(n: int, sub_adder_len: int, name: str = "etaii") -> Netlist:
     that duplication is why Table I reports ETAII at 28 LUTs against
     ACA-II's 24 for the same function.
     """
-    if sub_adder_len % 2 != 0:
-        raise ValueError("ETAII sub-adder length must be even")
-    half = sub_adder_len // 2
-    if n % half != 0:
-        raise ValueError(
-            f"ETAII needs N divisible by the segment size {half}, got {n}"
-        )
-    nl = Netlist(name)
-    a = nl.add_input_bus("A", n)
-    b = nl.add_input_bus("B", n)
+    from repro.spec.catalog import etaii_spec
 
-    result: List[str] = []
-    cout: Optional[str] = None
-    for base in range(0, n, half):
-        hi = base + half
-        if base == 0:
-            cin = None
-        else:
-            # Dedicated carry generator over the previous segment: its own
-            # carry chain, so its propagate LUTs cannot be shared with the
-            # sum unit covering the same bits (distinct p_group).  It only
-            # produces a carry — drop_sums suppresses the sum XORs a full
-            # ripple chain would leave dangling.
-            lo = base - half
-            _, cin = _ripple_chain(nl, a[lo:base], b[lo:base],
-                                   p_group="carrygen", drop_sums=base - lo)
-        # Sum units never chain into each other (the carry generators feed
-        # them instead), so only the top segment's carry out is observable.
-        sums, cout = _ripple_chain(nl, a[base:hi], b[base:hi], cin=cin,
-                                   emit_cout=hi >= n)
-        result.extend(sums)
-    assert cout is not None
-    nl.set_output_bus("S", result + [cout])
-    return nl
+    return build_spec(etaii_spec(n, sub_adder_len, name=name))
 
 
 def build_aca1(n: int, sub_adder_len: int, name: str = "aca1") -> Netlist:
     """ACA-I [8]: overlapping sub-adders with one resultant bit each —
     GeAr(N, 1, L−1)."""
-    return build_gear(n, 1, sub_adder_len - 1, name=name)
+    from repro.spec.catalog import aca1_spec
+
+    return build_spec(aca1_spec(n, sub_adder_len, name=name))
 
 
 def build_aca2(n: int, sub_adder_len: int, name: str = "aca2") -> Netlist:
     """ACA-II [10]: overlapping sub-adders with L/2 resultant bits —
     GeAr(N, L/2, L/2) structurally (unlike ETAII's sum-unit/carry-generator
     split, ACA-II's windows *are* the shared hardware)."""
-    if sub_adder_len % 2 != 0:
-        raise ValueError("ACA-II needs an even sub-adder length")
-    half = sub_adder_len // 2
-    return build_gear(n, half, half, name=name)
+    from repro.spec.catalog import aca2_spec
+
+    return build_spec(aca2_spec(n, sub_adder_len, name=name))
 
 
 def build_gda(n: int, mb: int, mc: int, name: str = "gda") -> Netlist:
@@ -434,41 +496,9 @@ def build_gda(n: int, mb: int, mc: int, name: str = "gda") -> Netlist:
     what makes GDA slower: §4.2).  Output ``S`` is N+1 bits (the top block's
     carry out is speculative, like the paper's).
     """
-    check_pos_int("n", n)
-    check_pos_int("mb", mb)
-    check_pos_int("mc", mc)
-    if n % mb != 0:
-        raise ValueError(f"GDA needs N divisible by M_B, got N={n}, M_B={mb}")
-    if mc > n - mb:
-        raise ValueError(f"M_C={mc} exceeds available lower bits for N={n}, M_B={mb}")
+    from repro.spec.catalog import gda_spec
 
-    nl = Netlist(name)
-    a = nl.add_input_bus("A", n)
-    b = nl.add_input_bus("B", n)
-
-    result: List[str] = []
-    last_cout = None
-    for base in range(0, n, mb):
-        if base == 0:
-            cin = None
-        else:
-            lo = max(0, base - mc)
-            g = [nl.and_(a[j], b[j]) for j in range(lo, base)]
-            # Only the block-boundary carry is predicted; p[0] never appears
-            # in its expansion, and intermediate carries are not consumed.
-            p: List[Optional[str]] = [None] + [
-                nl.xor(a[j], b[j]) for j in range(lo + 1, base)
-            ]
-            cin = _lookahead_carries(nl, g, p, needed=[base - lo - 1])[-1]
-        # Block sums never ripple into the next block (its carry comes from
-        # the lookahead predictor), so only the top block's carry out lives.
-        sums, last_cout = _ripple_chain(nl, a[base : base + mb],
-                                        b[base : base + mb], cin=cin,
-                                        emit_cout=base + mb >= n)
-        result.extend(sums)
-    assert last_cout is not None
-    nl.set_output_bus("S", result + [last_cout])
-    return nl
+    return build_spec(gda_spec(n, mb, mc, enforce_multiple=False, name=name))
 
 
 def build_gear_corrected(
@@ -557,17 +587,9 @@ def build_loa(n: int, approx_bits: int, name: str = "loa") -> Netlist:
 
     The carry into the exact part is ``a & b`` of the top approximate bit.
     """
-    check_pos_int("n", n)
-    if not 0 <= approx_bits < n:
-        raise ValueError(f"approx_bits must be in [0, {n}), got {approx_bits}")
-    nl = Netlist(name)
-    a = nl.add_input_bus("A", n)
-    b = nl.add_input_bus("B", n)
-    low = [nl.or_(a[i], b[i]) for i in range(approx_bits)]
-    cin = nl.and_(a[approx_bits - 1], b[approx_bits - 1]) if approx_bits else None
-    high, cout = _ripple_chain(nl, a[approx_bits:], b[approx_bits:], cin=cin)
-    nl.set_output_bus("S", low + high + [cout])
-    return nl
+    from repro.spec.catalog import loa_spec
+
+    return build_spec(loa_spec(n, approx_bits, name=name))
 
 
 def _build_gear_cla(n: int, r: int, p: int) -> Netlist:
@@ -575,8 +597,30 @@ def _build_gear_cla(n: int, r: int, p: int) -> Netlist:
     return build_gear(n, r, p, name="gear_cla", sub_adder="cla")
 
 
+def _catalog_builder(key: str):
+    """A ``(width) -> Netlist`` builder for one spec-catalog family."""
+
+    def build(width: int) -> Netlist:
+        from repro.spec.catalog import catalog_spec
+
+        return build_spec(catalog_spec(key, width))
+
+    build.__name__ = f"build_{key}"
+    build.__doc__ = f"Spec-catalog family {key!r} compiled at the given width."
+    return build
+
+
+def _catalog_builders() -> Dict[str, "Callable[..., Netlist]"]:  # noqa: F821
+    from repro.spec.catalog import SPEC_CATALOG
+
+    return {key: _catalog_builder(key) for key in SPEC_CATALOG}
+
+
 #: Builders addressable by name from the CLI (``gear lint <name> <params>``)
 #: and the lint builder matrix.  Values take positional integer parameters.
+#: Parameterised family builders come first; every spec-catalog family that
+#: is not already covered is added as a width-only builder, so this mapping
+#: and :data:`repro.verify.registry` enumerate the same catalog keys.
 NAMED_BUILDERS = {
     "rca": build_rca,
     "cla": build_cla,
@@ -592,6 +636,9 @@ NAMED_BUILDERS = {
     "gda": build_gda,
     "loa": build_loa,
 }
+for _key, _builder in _catalog_builders().items():
+    NAMED_BUILDERS.setdefault(_key, _builder)
+del _key, _builder
 
 
 def build_named(name: str, *params: int) -> Netlist:

@@ -361,6 +361,7 @@ BUILDER_MATRIX: Tuple[Tuple[str, Tuple[int, ...]], ...] = (
     ("gda", (16, 4, 4)),
     ("loa", (16, 8)),
     ("gear_corrected", (12, 4, 4)),
+    ("hetero", (16,)),
 )
 
 

@@ -1,0 +1,58 @@
+"""The declarative adder IR and its compilers.
+
+One frozen, JSON-round-trippable :class:`AdderSpec` describes an adder —
+window geometry, per-window sub-adder architecture, carry-prediction
+style, optional LOA truncation — and compiles into every layer:
+``to_model()`` (behavioural), ``to_netlist()`` (gate level, via the one
+generic window compiler), ``to_error_terms()`` (exact analytics) and
+``fingerprint()`` (engine cache / registry identity).  See ``docs/spec.md``.
+"""
+
+from repro.spec.catalog import (
+    SPEC_CATALOG,
+    SpecFamily,
+    aca1_spec,
+    aca2_spec,
+    catalog_spec,
+    etaii_spec,
+    etaiim_spec,
+    exact_spec,
+    gda_spec,
+    gear_spec,
+    hetero_spec,
+    loa_spec,
+    spec_adder,
+)
+from repro.spec.ir import (
+    ARCHS,
+    PREDS,
+    SPEC_VERSION,
+    AdderSpec,
+    ErrorTerms,
+    WindowSpec,
+)
+from repro.spec.model import SpecAdder, TruncatedSpecAdder
+
+__all__ = [
+    "ARCHS",
+    "PREDS",
+    "SPEC_VERSION",
+    "AdderSpec",
+    "ErrorTerms",
+    "WindowSpec",
+    "SpecAdder",
+    "TruncatedSpecAdder",
+    "SPEC_CATALOG",
+    "SpecFamily",
+    "aca1_spec",
+    "aca2_spec",
+    "catalog_spec",
+    "etaii_spec",
+    "etaiim_spec",
+    "exact_spec",
+    "gda_spec",
+    "gear_spec",
+    "hetero_spec",
+    "loa_spec",
+    "spec_adder",
+]

@@ -1,0 +1,379 @@
+"""The declarative adder IR: one frozen description compiled into every layer.
+
+The paper's central observation (§2, Eq. 1-3) is that GeAr, ACA-I/II,
+ETAII and GDA are all *the same object* — an ordered layout of speculative
+sub-adder windows over the operand word.  :class:`AdderSpec` freezes that
+object into data:
+
+* an ordered tuple of :class:`WindowSpec` (geometry + per-window sub-adder
+  architecture + carry-prediction realisation),
+* an optional LOA-style truncation (low bits reduced to OR gates),
+* an error-detection flag (§3.3 ``ERR`` outputs in the compiled netlist).
+
+One spec compiles into each layer of the library:
+
+* :meth:`AdderSpec.to_model` — the behavioural/vectorised
+  :class:`~repro.adders.base.AdderModel`,
+* :meth:`AdderSpec.to_netlist` — the gate-level netlist, through the one
+  generic window compiler :func:`repro.rtl.builders.build_spec`,
+* :meth:`AdderSpec.to_error_terms` — the exact analytic EP/MED/max-ED
+  terms over the window geometry,
+* :meth:`AdderSpec.fingerprint` — the stable identity the engine's shard
+  cache and the conformance registry key on.
+
+Specs are JSON round-trippable (:meth:`AdderSpec.to_json` /
+:meth:`AdderSpec.from_json`), so heterogeneous designs — per-window mixed
+sub-adder lengths and architectures à la Farahmand et al.
+(arXiv:2106.08800) — are plain data files, not code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.adders.base import SpeculativeWindow, validate_window_cover
+from repro.utils.validation import check_pos_int
+
+#: IR schema version, embedded in JSON documents and fingerprints.
+SPEC_VERSION = 1
+
+#: Sub-adder architectures the window compiler knows how to build.
+ARCHS = ("rca", "cla", "ksa")
+
+#: Carry-prediction realisations.  ``fused`` folds the prediction bits into
+#: the window's own sub-adder (GeAr/ACA style: one chain, low sums dropped);
+#: ``gen_rca``/``gen_cla`` build a physically separate carry generator over
+#: the prediction bits feeding a sum unit (ETAII's ripple generators, GDA's
+#: lookahead predictors).  The choice never changes the computed sum — only
+#: the hardware structure (and therefore area/delay, Table I/II).
+PREDS = ("fused", "gen_rca", "gen_cla")
+
+_GEN_PREDS = ("gen_rca", "gen_cla")
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """One sub-adder window of an :class:`AdderSpec`.
+
+    The geometry fields mirror :class:`~repro.adders.base.SpeculativeWindow`
+    (``low``/``high`` are the operand bits read, ``result_low``/
+    ``result_high`` the sum bits driven; ``result_low - low`` is the
+    carry-prediction depth).  ``arch`` selects the sub-adder implementation
+    and ``pred`` how the prediction bits are realised in hardware.
+
+    Constraints beyond the plain geometry:
+
+    * ``high == result_high`` — a window never reads above the bits it
+      drives (reading more would compile to dead logic),
+    * ``pred != "fused"`` requires ``prediction_bits >= 1`` (a separate
+      generator over zero bits is meaningless) and ``arch == "rca"`` (only
+      the ripple sum unit accepts an external carry-in),
+    * exact windows (``prediction_bits == 0``) are always ``fused``.
+    """
+
+    low: int
+    high: int
+    result_low: int
+    result_high: int
+    arch: str = "rca"
+    pred: str = "fused"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.result_low <= self.result_high <= self.high:
+            raise ValueError(
+                f"inconsistent window: low={self.low}, high={self.high}, "
+                f"result=[{self.result_low}, {self.result_high}]"
+            )
+        if self.high != self.result_high:
+            raise ValueError(
+                f"window reads up to bit {self.high} but drives only up to "
+                f"{self.result_high}; the extra bits would be dead logic"
+            )
+        if self.arch not in ARCHS:
+            raise ValueError(f"unknown arch {self.arch!r}; use one of {ARCHS}")
+        if self.pred not in PREDS:
+            raise ValueError(f"unknown pred {self.pred!r}; use one of {PREDS}")
+        if self.pred in _GEN_PREDS:
+            if self.prediction_bits == 0:
+                raise ValueError(
+                    f"pred={self.pred!r} needs at least one prediction bit"
+                )
+            if self.arch != "rca":
+                raise ValueError(
+                    f"pred={self.pred!r} needs arch='rca': only the ripple "
+                    "sum unit accepts the generator's carry-in"
+                )
+
+    # -- derived geometry (paper notation) ----------------------------------
+
+    @property
+    def length(self) -> int:
+        """Operand bits the window reads (the sub-adder length L)."""
+        return self.high - self.low + 1
+
+    @property
+    def prediction_bits(self) -> int:
+        """Carry-prediction depth (paper's P; 0 for the first window)."""
+        return self.result_low - self.low
+
+    @property
+    def result_bits(self) -> int:
+        """Result bits the window contributes (paper's R)."""
+        return self.result_high - self.result_low + 1
+
+    def to_window(self) -> SpeculativeWindow:
+        """The plain behavioural-geometry view of this window."""
+        return SpeculativeWindow(self.low, self.high,
+                                 self.result_low, self.result_high)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"low": self.low, "high": self.high,
+                "result_low": self.result_low,
+                "result_high": self.result_high,
+                "arch": self.arch, "pred": self.pred}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WindowSpec":
+        known = {"low", "high", "result_low", "result_high", "arch", "pred"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown window fields {sorted(unknown)}")
+        return cls(low=int(data["low"]), high=int(data["high"]),
+                   result_low=int(data["result_low"]),
+                   result_high=int(data["result_high"]),
+                   arch=str(data.get("arch", "rca")),
+                   pred=str(data.get("pred", "fused")))
+
+
+@dataclass(frozen=True)
+class ErrorTerms:
+    """Analytic error terms of a spec, feeding the window-DP analytics.
+
+    ``error_probability``/``mean_error_distance`` are *exact* for any
+    truncation-free window layout (first-principles DP of
+    :mod:`repro.core.error_model`); with truncation the OR-reduced low bits
+    fall outside the carry-speculation model and both return ``None``.
+    ``max_error_distance`` is always available as an upper bound.
+    """
+
+    width: int
+    windows: Tuple[SpeculativeWindow, ...]
+    truncation: int = 0
+
+    def error_probability(self) -> Optional[float]:
+        if self.truncation:
+            return None
+        from repro.core.error_model import error_probability_windows
+
+        return error_probability_windows(self.windows, self.width)
+
+    def mean_error_distance(self) -> Optional[float]:
+        if self.truncation:
+            return None
+        from repro.core.error_model import mean_error_distance_windows
+
+        return mean_error_distance_windows(self.windows, self.width)
+
+    def max_error_distance(self) -> int:
+        """Upper bound on ``|approx - exact|`` over all operand pairs.
+
+        Each speculative window can miss an incoming carry worth
+        ``2**result_low``; windows anchored at bit 0 of an untruncated word
+        see every lower bit and cannot err.  With truncation the OR-reduced
+        part contributes ``2**(t+1) - 1`` (wrong low sum bits plus the
+        approximated carry into the exact part), and every speculative
+        window can additionally miss (the carry into bit ``t`` is invisible
+        to it).
+        """
+        t = self.truncation
+        trunc_part = (1 << (t + 1)) - 1 if t else 0
+        spec_part = sum(1 << w.result_low for w in self.windows[1:]
+                        if w.low > 0 or t > 0)
+        return trunc_part + spec_part
+
+
+@dataclass(frozen=True)
+class AdderSpec:
+    """A complete declarative adder description (frozen, hashable).
+
+    Attributes:
+        name: identifier used for the compiled netlist module, the
+            behavioural model and the fingerprint.  Must be a valid
+            Verilog/netlist identifier.
+        width: operand width N.
+        windows: ordered window layout driving bits ``truncation..N-1``.
+        truncation: LOA-style approximation — the low ``truncation`` sum
+            bits are ``a | b`` and the carry into the window part is
+            ``a & b`` of the top truncated bit.  0 disables.
+        error_detect: compile the §3.3 ``ERR`` detection flags into the
+            netlist (one AND of predicted-carry and previous carry-out per
+            speculative window).  Requires a truncation-free, all-``fused``
+            speculative layout.
+    """
+
+    name: str
+    width: int
+    windows: Tuple[WindowSpec, ...]
+    truncation: int = 0
+    error_detect: bool = False
+
+    def __post_init__(self) -> None:
+        check_pos_int("width", self.width)
+        object.__setattr__(self, "windows", tuple(self.windows))
+        if not all(isinstance(w, WindowSpec) for w in self.windows):
+            raise TypeError("windows must be WindowSpec instances")
+        if not self.name or not all(c.isalnum() or c == "_" for c in self.name):
+            raise ValueError(
+                f"spec name {self.name!r} is not a valid identifier"
+            )
+        t = self.truncation
+        if not 0 <= t < self.width:
+            raise ValueError(
+                f"truncation must be in [0, {self.width}), got {t}"
+            )
+        if not self.windows:
+            raise ValueError("at least one window is required")
+        if min(w.low for w in self.windows) < t:
+            raise ValueError(
+                f"windows must not read below the truncation boundary {t}"
+            )
+        # The cover check runs in window coordinates shifted down by the
+        # truncation, reusing the one validator every behavioural window
+        # layout already goes through.
+        validate_window_cover(
+            [SpeculativeWindow(w.low - t, w.high - t,
+                               w.result_low - t, w.result_high - t)
+             for w in self.windows],
+            self.width - t,
+        )
+        first = self.windows[0]
+        if first.prediction_bits != 0:
+            raise ValueError("the first window must not predict a carry")
+        if t and first.arch != "rca":
+            raise ValueError(
+                "truncation feeds its carry into the first window, which "
+                "must therefore be a ripple ('rca') sub-adder"
+            )
+        if self.error_detect:
+            if t:
+                raise ValueError("error_detect is incompatible with truncation")
+            if len(self.windows) < 2:
+                raise ValueError(
+                    "error_detect needs at least one speculative window"
+                )
+            for i, w in enumerate(self.windows[1:], start=1):
+                if w.pred != "fused" or w.prediction_bits < 1:
+                    raise ValueError(
+                        f"error_detect needs fused speculative windows with "
+                        f"prediction bits (window {i} is {w.pred!r} with "
+                        f"P={w.prediction_bits})"
+                    )
+
+    # -- identity -----------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable identity for engine shard-cache keys and the registry.
+
+        Includes the spec name: two families may share a geometry (ACA-II
+        and a GeAr coverage point, §3.1) yet must stay distinguishable in
+        registries; equal fingerprints still imply identical sums because
+        the geometry fully determines behaviour.
+        """
+        layout = ";".join(
+            f"{w.low}.{w.high}.{w.result_low}.{w.result_high}.{w.arch}.{w.pred}"
+            for w in self.windows
+        )
+        detect = 1 if self.error_detect else 0
+        return (f"spec/v{SPEC_VERSION}:{self.name}:w{self.width}"
+                f":t{self.truncation}:d{detect}:[{layout}]")
+
+    # -- (de)serialisation --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": SPEC_VERSION,
+            "name": self.name,
+            "width": self.width,
+            "truncation": self.truncation,
+            "error_detect": self.error_detect,
+            "windows": [w.to_dict() for w in self.windows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AdderSpec":
+        version = int(data.get("version", SPEC_VERSION))
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"unsupported spec version {version} (this library "
+                f"understands version {SPEC_VERSION})"
+            )
+        known = {"version", "name", "width", "truncation", "error_detect",
+                 "windows"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown spec fields {sorted(unknown)}")
+        return cls(
+            name=str(data["name"]),
+            width=int(data["width"]),
+            windows=tuple(WindowSpec.from_dict(w) for w in data["windows"]),
+            truncation=int(data.get("truncation", 0)),
+            error_detect=bool(data.get("error_detect", False)),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AdderSpec":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("spec JSON must be an object")
+        return cls.from_dict(data)
+
+    def renamed(self, name: str) -> "AdderSpec":
+        """The same spec under a different name (and fingerprint)."""
+        return replace(self, name=name)
+
+    # -- compilers ----------------------------------------------------------
+
+    def to_model(self):
+        """Behavioural/vectorised :class:`~repro.adders.base.AdderModel`."""
+        from repro.spec.model import SpecAdder, TruncatedSpecAdder
+
+        if self.truncation:
+            return TruncatedSpecAdder(self)
+        return SpecAdder(self)
+
+    def to_netlist(self):
+        """Gate-level :class:`~repro.rtl.netlist.Netlist` of this spec."""
+        from repro.rtl.builders import build_spec
+
+        return build_spec(self)
+
+    def to_error_terms(self) -> ErrorTerms:
+        """Analytic EP/MED/max-ED terms over the window geometry."""
+        return ErrorTerms(width=self.width, windows=self.to_windows(),
+                          truncation=self.truncation)
+
+    def to_windows(self) -> Tuple[SpeculativeWindow, ...]:
+        """The behavioural window layout (absolute bit coordinates)."""
+        return tuple(w.to_window() for w in self.windows)
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the spec can never err (single full window, no OR part)."""
+        return (self.truncation == 0 and len(self.windows) == 1
+                and self.windows[0].low == 0)
+
+    def describe(self) -> str:
+        """Compact human-readable summary for CLI listings."""
+        parts = []
+        if self.truncation:
+            parts.append(f"or[0:{self.truncation - 1}]")
+        for w in self.windows:
+            tag = w.arch if w.pred == "fused" else f"{w.arch}+{w.pred}"
+            parts.append(f"[{w.low}:{w.high}]->[{w.result_low}:{w.result_high}]{tag}")
+        detect = " +err" if self.error_detect else ""
+        return f"{self.name}: N={self.width} {' '.join(parts)}{detect}"

@@ -1,0 +1,102 @@
+"""Behavioural models compiled from :class:`~repro.spec.ir.AdderSpec`.
+
+:class:`SpecAdder` covers every truncation-free spec by riding the shared
+:class:`~repro.adders.base.WindowedSpeculativeAdder` machinery — the
+vectorised windowed sum, §3.3 detection flags, and the exact window-DP
+analytics — so a heterogeneous layout needs zero family-specific code.
+:class:`TruncatedSpecAdder` adds the LOA-style OR-reduced low part.
+
+Both delegate ``build_netlist``/``fingerprint`` back to the spec, so the
+behavioural, gate-level and analytic layers of one spec always agree on
+identity and structure.
+"""
+
+from __future__ import annotations
+
+from repro.adders.base import AdderModel, IntLike, WindowedSpeculativeAdder
+from repro.spec.ir import AdderSpec
+from repro.utils.bitvec import mask
+
+
+class SpecAdder(WindowedSpeculativeAdder):
+    """The behavioural model of a truncation-free :class:`AdderSpec`."""
+
+    def __init__(self, spec: AdderSpec) -> None:
+        if spec.truncation:
+            raise ValueError(
+                "SpecAdder models truncation-free specs; "
+                "use TruncatedSpecAdder (or spec.to_model())"
+            )
+        self.spec = spec
+        super().__init__(spec.width, spec.name, spec.to_windows())
+
+    @property
+    def is_exact(self) -> bool:
+        return self.spec.is_exact
+
+    def error_probability(self) -> float:
+        """Exact window-DP error probability from the spec's terms."""
+        ep = self.spec.to_error_terms().error_probability()
+        assert ep is not None  # truncation-free by construction
+        return ep
+
+    def mean_error_distance(self) -> float:
+        med = self.spec.to_error_terms().mean_error_distance()
+        assert med is not None
+        return med
+
+    def max_error_distance(self) -> int:
+        return self.spec.to_error_terms().max_error_distance()
+
+    def build_netlist(self):
+        return self.spec.to_netlist()
+
+    def fingerprint(self) -> str:
+        return self.spec.fingerprint()
+
+
+class TruncatedSpecAdder(AdderModel):
+    """Behavioural model of a spec with LOA-style truncation.
+
+    The low ``t`` sum bits are ``a | b``; the first window receives
+    ``a & b`` of bit ``t-1`` as carry-in (exactly the LOA rule of [12]).
+    Later windows speculate on raw operand bits only — the approximated
+    carry at the truncation boundary is invisible to them, matching the
+    compiled hardware where predictors tap the operand inputs directly.
+
+    Not a :class:`WindowedSpeculativeAdder`: the OR part falls outside the
+    carry-speculation error model, so the exact EP/MED analytics (and the
+    §3.3 detection flags) are deliberately not exposed.
+    """
+
+    def __init__(self, spec: AdderSpec) -> None:
+        if not spec.truncation:
+            raise ValueError("TruncatedSpecAdder needs a truncated spec")
+        self.spec = spec
+        self.truncation = spec.truncation
+        super().__init__(spec.width, spec.name)
+        self.windows = spec.to_windows()
+
+    def _add_impl(self, a: IntLike, b: IntLike) -> IntLike:
+        t = self.truncation
+        result: IntLike = (a | b) & mask(t)
+        carry_in = (a >> (t - 1)) & (b >> (t - 1)) & 1
+        local: IntLike = 0
+        for i, w in enumerate(self.windows):
+            wmask = mask(w.length)
+            local = ((a >> w.low) & wmask) + ((b >> w.low) & wmask)
+            if i == 0:
+                local = local + carry_in
+            field = (local >> w.prediction_bits) & mask(w.result_bits)
+            result = result | (field << w.result_low)
+        carry_out = (local >> self.windows[-1].length) & 1
+        return result | (carry_out << self.width)
+
+    def max_error_distance(self) -> int:
+        return self.spec.to_error_terms().max_error_distance()
+
+    def build_netlist(self):
+        return self.spec.to_netlist()
+
+    def fingerprint(self) -> str:
+        return self.spec.fingerprint()

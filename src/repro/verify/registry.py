@@ -6,6 +6,14 @@ instances) are what make counterexample shrinking possible: when a layer
 disagrees at width N, the shrinker rebuilds the same family at smaller
 widths to find the narrowest member that still exhibits the divergence.
 
+Spec-expressible families are not listed here by hand: the registry
+enumerates :data:`repro.spec.catalog.SPEC_CATALOG` — the same enumeration
+the netlist builder registry derives its named builders from — and builds
+each family's behavioural model with ``spec.to_model()``.  Only adders
+the IR cannot express (mux-based carry-select/skip, ETAI's bit-dropping
+low half) are registered as bespoke classes.  That makes naming drift
+between ``build_named`` and this registry structurally impossible.
+
 Widths at which a family is undefined (ETAII needs an even width, GeAr
 needs ``L <= N``, ...) simply raise :class:`ValueError` from the factory;
 callers probe with :meth:`RegisteredAdder.supports`.
@@ -17,21 +25,12 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.adders import (
-    AccuracyConfigurableAdder,
     AdderModel,
-    AlmostCorrectAdder,
-    CarryLookaheadAdder,
     CarrySelectAdder,
     CarrySkipAdder,
     ErrorTolerantAdderI,
-    ErrorTolerantAdderII,
-    ErrorTolerantAdderIIM,
-    GracefullyDegradingAdder,
-    KoggeStoneAdder,
-    LowerPartOrAdder,
-    RippleCarryAdder,
 )
-from repro.core.gear import GeArAdder, GeArConfig
+from repro.spec.catalog import SPEC_CATALOG, SpecFamily
 
 #: Default operand width for registry-wide conformance runs.  Small enough
 #: that the behavioural-vs-netlist layer is an exhaustive proof (2^16
@@ -65,47 +64,37 @@ class RegisteredAdder:
         return True
 
 
-def _gear(r: int, p: int) -> Callable[[int], AdderModel]:
-    def build(width: int) -> AdderModel:
-        strict = (width - r - p) % r == 0
-        return GeArAdder(GeArConfig(width, r, p, allow_partial=not strict))
+def _from_spec_family(family: SpecFamily) -> RegisteredAdder:
+    return RegisteredAdder(
+        family.key,
+        family.description,
+        lambda w, _f=family: _f(w).to_model(),
+        min_width=family.min_width,
+    )
 
-    return build
 
-
-def _registry_entries() -> List[RegisteredAdder]:
-    return [
-        RegisteredAdder("rca", "exact ripple-carry baseline",
-                        lambda w: RippleCarryAdder(w), min_width=1),
-        RegisteredAdder("cla", "exact carry-lookahead baseline",
-                        lambda w: CarryLookaheadAdder(w), min_width=1),
-        RegisteredAdder("ksa", "exact Kogge-Stone parallel prefix",
-                        lambda w: KoggeStoneAdder(w), min_width=1),
+#: Families the spec IR cannot express, keyed by the catalog key they
+#: should be listed after (keeping the historical registry ordering).
+_EXTRA_ENTRIES = {
+    "ksa": [
         RegisteredAdder("csla", "exact carry-select, 4-bit blocks",
                         lambda w: CarrySelectAdder(w, 4), min_width=1),
         RegisteredAdder("cska", "exact carry-skip, 4-bit blocks",
                         lambda w: CarrySkipAdder(w, 4), min_width=1),
-        RegisteredAdder("gear_r1p3", "GeAr(N, 1, 3) — ACA-I coverage point",
-                        _gear(1, 3), min_width=5),
-        RegisteredAdder("gear_r2p2", "GeAr(N, 2, 2) — ETAII/ACA-II point",
-                        _gear(2, 2), min_width=6),
-        RegisteredAdder("gear_r2p4", "GeAr(N, 2, 4) — deeper prediction",
-                        _gear(2, 4), min_width=8),
-        RegisteredAdder("aca1_l4", "ACA-I with L=4 sub-adders",
-                        lambda w: AlmostCorrectAdder(w, 4), min_width=5),
-        RegisteredAdder("aca2_l4", "ACA-II with L=4 sub-adders",
-                        lambda w: AccuracyConfigurableAdder(w, 4), min_width=6),
+    ],
+    "aca2_l4": [
         RegisteredAdder("etai_half", "ETAI, lower half inaccurate",
                         lambda w: ErrorTolerantAdderI(w, w // 2), min_width=2),
-        RegisteredAdder("etaii_l4", "ETAII with L=4 windows",
-                        lambda w: ErrorTolerantAdderII(w, 4), min_width=6),
-        RegisteredAdder("etaiim_l4c2", "ETAIIM, L=4, two merged top segments",
-                        lambda w: ErrorTolerantAdderIIM(w, 4, 2), min_width=6),
-        RegisteredAdder("gda_b2c2", "GDA with M_B=2, M_C=2",
-                        lambda w: GracefullyDegradingAdder(w, 2, 2), min_width=4),
-        RegisteredAdder("loa_half", "LOA, lower half approximated",
-                        lambda w: LowerPartOrAdder(w, w // 2), min_width=2),
-    ]
+    ],
+}
+
+
+def _registry_entries() -> List[RegisteredAdder]:
+    entries: List[RegisteredAdder] = []
+    for key, family in SPEC_CATALOG.items():
+        entries.append(_from_spec_family(family))
+        entries.extend(_EXTRA_ENTRIES.get(key, ()))
+    return entries
 
 
 def default_registry() -> Dict[str, RegisteredAdder]:

@@ -301,28 +301,14 @@ class TestDefaultEngine:
         assert result.stats.samples == 4096
 
 
-class TestDeprecatedWrappers:
-    def test_monte_carlo_stats_warns_and_delegates(self, adder):
-        from repro.metrics.simulate import monte_carlo_stats
+class TestMetricsSurface:
+    def test_simulate_wrappers_are_gone(self):
+        # The deprecated metrics.simulate aliases were deleted; the engine
+        # is the only sampling entry point.
+        with pytest.raises(ImportError):
+            import repro.metrics.simulate  # noqa: F401
 
-        with pytest.warns(DeprecationWarning, match="monte_carlo_stats"):
-            stats = monte_carlo_stats(adder, samples=8_000, seed=3)
-        ref = Engine(jobs=1).evaluate(
-            EvalRequest(adder=adder, samples=8_000, seed=3)
-        )
-        assert stats == ref.stats
-
-    def test_simulate_error_probability_warns_and_delegates(self, adder):
-        from repro.metrics.simulate import simulate_error_probability
-
-        with pytest.warns(DeprecationWarning, match="simulate_error_probability"):
-            report = simulate_error_probability(adder, samples=8_000, seed=3)
-        ref = Engine(jobs=1).evaluate(
-            EvalRequest(adder=adder, samples=8_000, seed=3)
-        )
-        assert report.measured_error_probability == ref.stats.error_rate
-
-    def test_exhaustive_stats_is_not_deprecated(self, small_adder):
+    def test_exhaustive_stats_emits_no_warnings(self, small_adder):
         from repro.metrics.exhaustive import exhaustive_stats
 
         with warnings.catch_warnings():

@@ -1,0 +1,95 @@
+"""SPEC_CATALOG is the single enumeration both registries derive from.
+
+The historical bug class this file pins down: ``rtl.builders.build_named``
+and ``verify/registry.py`` each kept their own hand-written family table,
+and the two drifted (different keys, different parameter orderings).  Both
+now *enumerate* :data:`repro.spec.catalog.SPEC_CATALOG`, so the sets must
+stay identical — and each catalog family must produce the same hardware
+whichever door it is reached through.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rtl.builders import NAMED_BUILDERS, build_named
+from repro.spec.catalog import SPEC_CATALOG, catalog_spec, spec_adder
+from repro.verify.registry import DEFAULT_WIDTH, default_registry
+
+#: Registry families the IR cannot express (mux-based selection, ETAI's
+#: dropped low bits) — the only sanctioned difference between the two
+#: enumerations.
+NON_SPEC_REGISTRY_KEYS = {"csla", "cska", "etai_half"}
+
+#: Builder aliases that take full parameter lists (e.g. ``gear 12 4 4``)
+#: rather than a single width; they sit alongside the catalog keys.
+PARAMETERISED_BUILDER_KEYS = {
+    "rca", "cla", "ksa", "csla", "cska", "gear", "gear_cla",
+    "gear_corrected", "aca1", "aca2", "etaii", "gda", "loa",
+}
+
+
+class TestNoNamingDrift:
+    def test_every_catalog_family_is_a_named_builder(self):
+        missing = set(SPEC_CATALOG) - set(NAMED_BUILDERS)
+        assert not missing, f"builders missing catalog families: {missing}"
+
+    def test_every_catalog_family_is_registered_for_conformance(self):
+        missing = set(SPEC_CATALOG) - set(default_registry())
+        assert not missing, f"registry missing catalog families: {missing}"
+
+    def test_registry_is_catalog_plus_sanctioned_extras(self):
+        assert set(default_registry()) == \
+            set(SPEC_CATALOG) | NON_SPEC_REGISTRY_KEYS
+
+    def test_builders_are_catalog_plus_parameterised_aliases(self):
+        assert set(NAMED_BUILDERS) == \
+            set(SPEC_CATALOG) | PARAMETERISED_BUILDER_KEYS
+
+    def test_registry_descriptions_come_from_the_catalog(self):
+        registry = default_registry()
+        for key, family in SPEC_CATALOG.items():
+            assert registry[key].description == family.description
+            assert registry[key].min_width == family.min_width
+
+
+class TestSameFamilySameHardware:
+    @staticmethod
+    def _structure(netlist):
+        # Everything but the display name (legacy builders keep their
+        # historical short names for byte-identical CLI output).
+        return repr(sorted(
+            (k, v) for k, v in vars(netlist).items() if k != "name"))
+
+    @pytest.mark.parametrize("key", sorted(SPEC_CATALOG))
+    def test_builder_and_registry_compile_the_same_netlist(self, key):
+        width = max(DEFAULT_WIDTH, SPEC_CATALOG[key].min_width)
+        via_builder = build_named(key, width)
+        via_model = spec_adder(key, width).build_netlist()
+        assert self._structure(via_builder) == self._structure(via_model)
+
+    @pytest.mark.parametrize("key", sorted(SPEC_CATALOG))
+    def test_registry_model_carries_the_catalog_fingerprint(self, key):
+        width = max(DEFAULT_WIDTH, SPEC_CATALOG[key].min_width)
+        model = default_registry()[key](width)
+        assert model.fingerprint() == catalog_spec(key, width).fingerprint()
+
+
+class TestCatalogErrors:
+    def test_unknown_key_lists_alternatives(self):
+        with pytest.raises(ValueError, match="unknown spec family"):
+            catalog_spec("nope", 8)
+
+    def test_below_min_width_raises(self):
+        family = SPEC_CATALOG["hetero"]
+        with pytest.raises(ValueError, match="needs width >="):
+            family(family.min_width - 1)
+
+    def test_models_behave_at_min_width(self):
+        # Every family must actually work at its advertised floor.
+        for key, family in SPEC_CATALOG.items():
+            model = spec_adder(key, family.min_width)
+            n = family.min_width
+            a = np.arange(1 << min(n, 6), dtype=np.uint64) % (1 << n)
+            exact = a + a[::-1]
+            approx = model.add(a, a[::-1])
+            assert np.all(approx <= exact), key
