@@ -1,0 +1,100 @@
+"""Bench (micro): analytic error-PMF backend vs Monte-Carlo sampling.
+
+Not a paper artefact — this times the two evaluation backends on the
+same workload: every GeAr configuration of a 32-bit datapath at R in
+{4, 8}, error statistics per configuration.  The sampling column draws
+10^5 operand pairs per configuration; the analytic column solves the
+exact PMF.  The acceptance floor is a 100x latency advantage for the
+analytic backend, checked here and in the CI ``analytic-smoke`` job via
+``python benchmarks/bench_analytic.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.core.configspace import enumerate_configs
+from repro.core.gear import GeArAdder
+from repro.engine import Engine, EvalRequest
+
+N = 32
+R_VALUES = (4, 8)
+SAMPLES = 100_000
+SEED = 2015
+
+#: Required analytic-vs-sampled latency ratio on the sweep workload.
+MIN_SPEEDUP = 100.0
+
+
+def _sweep_adders():
+    adders = []
+    for r in R_VALUES:
+        for cfg in enumerate_configs(N, r=r, allow_partial=True):
+            adders.append(GeArAdder(cfg))
+    return adders
+
+
+def _run_backend(backend: str, adders=None, repeats: int = 1) -> float:
+    """Best-of-``repeats`` wall time to evaluate the sweep on one backend.
+
+    The engine result cache is disabled, so every repetition re-computes
+    the statistics end to end; internal warm state (compiled analytic
+    plans, segment matrices) persists across repetitions, so the minimum
+    is the steady-state latency free of one-off compilation and import
+    noise.
+    """
+    if adders is None:
+        adders = _sweep_adders()
+    engine = Engine(jobs=1)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for adder in adders:
+            if backend == "analytic":
+                request = EvalRequest.exhaustive(adder, backend="analytic")
+            else:
+                request = EvalRequest.monte_carlo(adder, SAMPLES, seed=SEED)
+            engine.evaluate(request)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_speedup(verbose: bool = False) -> float:
+    adders = _sweep_adders()
+    analytic_s = _run_backend("analytic", adders, repeats=3)
+    sampled_s = _run_backend("sampling", adders, repeats=2)
+    speedup = sampled_s / analytic_s if analytic_s > 0 else float("inf")
+    if verbose:
+        print(f"workload: {len(adders)} GeAr configs, N={N}, R in {R_VALUES}")
+        print(f"sampling backend ({SAMPLES} samples/config): {sampled_s:.3f} s")
+        print(f"analytic backend (exact PMF)               : {analytic_s:.3f} s")
+        print(f"speedup: {speedup:.0f}x (floor: {MIN_SPEEDUP:.0f}x)")
+    return speedup
+
+
+def test_analytic_backend_speedup(benchmark):
+    benchmark.extra_info["workload"] = f"N={N}, R={R_VALUES}, {SAMPLES} samples"
+    adders = _sweep_adders()
+    analytic_s = benchmark(_run_backend, "analytic", adders)
+    sampled_s = _run_backend("sampling", adders)
+    assert sampled_s / analytic_s >= MIN_SPEEDUP
+
+
+def test_analytic_matches_sampling_direction(benchmark):
+    """Sanity on the same workload: analytic EP within MC noise of sampled."""
+    adder = _sweep_adders()[0]
+    engine = Engine(jobs=1)
+    exact = benchmark(
+        engine.evaluate, EvalRequest.exhaustive(adder, backend="analytic")
+    )
+    sampled = engine.evaluate(
+        EvalRequest.monte_carlo(adder, SAMPLES, seed=SEED))
+    # 10^5 samples put the MC estimate within ~0.005 of the exact EP
+    assert exact.stats.error_rate == pytest.approx(
+        sampled.stats.error_rate, abs=0.01)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(0 if measure_speedup(verbose=True) >= MIN_SPEEDUP else 1)

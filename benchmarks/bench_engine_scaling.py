@@ -24,7 +24,7 @@ def adder():
 @pytest.fixture(scope="module")
 def reference_stats(adder):
     result = Engine(jobs=1).evaluate(
-        EvalRequest(adder=adder, samples=SAMPLES, seed=SEED)
+        EvalRequest.monte_carlo(adder, SAMPLES, seed=SEED)
     )
     return result.stats
 
@@ -33,13 +33,13 @@ def reference_stats(adder):
 def test_engine_monte_carlo_scaling(benchmark, adder, reference_stats, jobs):
     engine = Engine(jobs=jobs)
     result = benchmark(
-        engine.evaluate, EvalRequest(adder=adder, samples=SAMPLES, seed=SEED)
+        engine.evaluate, EvalRequest.monte_carlo(adder, SAMPLES, seed=SEED)
     )
     assert result.stats == reference_stats
 
 
 def test_engine_warm_cache_throughput(benchmark, adder, reference_stats, tmp_path):
-    request = EvalRequest(adder=adder, samples=SAMPLES, seed=SEED)
+    request = EvalRequest.monte_carlo(adder, SAMPLES, seed=SEED)
     Engine(jobs=1, cache=tmp_path).evaluate(request)
 
     warm = Engine(jobs=1, cache=tmp_path)
@@ -52,6 +52,6 @@ def test_engine_exhaustive_throughput(benchmark, adder):
     small = GeArAdder(GeArConfig(12, 4, 4))
     engine = Engine(jobs=1)
     result = benchmark(
-        engine.evaluate, EvalRequest(adder=small, mode="exhaustive")
+        engine.evaluate, EvalRequest.exhaustive(small)
     )
     assert result.stats.samples == 1 << 24

@@ -44,7 +44,7 @@ def _sweep(engine: Engine) -> int:
     for p in (4, 6, 8):
         adder = GeArAdder(GeArConfig(16, 2, p - 2))
         total += engine.evaluate(
-            EvalRequest(adder=adder, samples=SAMPLES, seed=SEED)
+            EvalRequest.monte_carlo(adder, SAMPLES, seed=SEED)
         ).stats.samples
     return total
 

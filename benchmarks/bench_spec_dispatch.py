@@ -47,7 +47,7 @@ def _sweep(engine: Engine, adders) -> int:
     total = 0
     for adder in adders:
         total += engine.evaluate(
-            EvalRequest(adder=adder, samples=SAMPLES, seed=SEED)
+            EvalRequest.monte_carlo(adder, SAMPLES, seed=SEED)
         ).stats.samples
     return total
 

@@ -43,8 +43,7 @@ def main() -> None:
     print(f"sub-adders corrected: {result.corrections}")
 
     print("\n== Model vs simulation ==")
-    result = evaluate(EvalRequest(adder=fig3, mode="monte_carlo",
-                                  samples=10_000, seed=2015))
+    result = evaluate(EvalRequest.monte_carlo(fig3, 10_000, seed=2015))
     print(f"measured over 10k uniform patterns: "
           f"{result.stats.error_rate:.4%}")
     print(f"analytic (Eq. 5-7):                 "

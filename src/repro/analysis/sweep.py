@@ -91,22 +91,21 @@ def _characterize_quietly(adder: AdderModel) -> Optional[AdderCharacterization]:
 
 
 def _measure(adder: AdderModel, samples: Optional[int], seed: Optional[int],
-             engine) -> dict:
+             engine, backend: str = "sampling") -> dict:
     """Engine-backed Monte-Carlo columns (empty when no budget given)."""
     if not samples:
         return {}
     from repro.engine import EvalRequest, evaluate
 
     stats = evaluate(
-        EvalRequest(adder=adder, mode="monte_carlo", samples=samples,
-                    seed=seed),
+        EvalRequest.monte_carlo(adder, samples, seed=seed, backend=backend),
         engine=engine,
     ).stats
     return {
         "measured_error_rate": stats.error_rate,
         "measured_med": stats.med,
         "measured_ned": stats.ned,
-        "samples": samples,
+        "samples": stats.samples,
     }
 
 
@@ -118,6 +117,7 @@ def sweep_gear_configs(
     samples: Optional[int] = None,
     seed: Optional[int] = SWEEP_SEED,
     engine=None,
+    backend: str = "sampling",
 ) -> List[SweepResult]:
     """Evaluate every GeAr configuration of width ``n`` (optionally per R).
 
@@ -126,10 +126,14 @@ def sweep_gear_configs(
         r_values: restrict to these R values (None = all).
         allow_partial: include non-divisible configurations.
         with_hardware: also run netlist characterisation (slower).
-        samples: when given, also measure each configuration by
-            Monte-Carlo through the engine.
+        samples: when given, also measure each configuration through the
+            engine (Monte-Carlo on the ``sampling`` backend; the exact
+            PMF on ``analytic``, where the measured columns report
+            ``samples`` as 0).
         seed: root seed for the measured columns.
         engine: :class:`repro.engine.Engine` override (None = default).
+        backend: engine backend for the measured columns
+            (``sampling`` / ``analytic`` / ``auto``).
     """
     configs: List[GeArConfig] = []
     if r_values is None:
@@ -155,7 +159,7 @@ def sweep_gear_configs(
                 ned=normalized_error_distance_analytic(cfg),
                 delay_ns=char.delay_ns if char else None,
                 luts=char.luts if char else None,
-                **_measure(adder, samples, seed, engine),
+                **_measure(adder, samples, seed, engine, backend),
             )
         )
     return results
@@ -167,6 +171,7 @@ def sweep_adder_family(
     samples: Optional[int] = None,
     seed: Optional[int] = SWEEP_SEED,
     engine=None,
+    backend: str = "sampling",
 ) -> List[SweepResult]:
     """Evaluate a heterogeneous family of adders into comparable rows.
 
@@ -202,7 +207,7 @@ def sweep_adder_family(
                 ned=ned,
                 delay_ns=char.delay_ns if char else None,
                 luts=char.luts if char else None,
-                **_measure(adder, samples, seed, engine),
+                **_measure(adder, samples, seed, engine, backend),
             )
         )
     return results

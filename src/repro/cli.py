@@ -18,7 +18,9 @@ Every stochastic subcommand takes ``--samples`` and ``--seed``; every
 subcommand that evaluates through :mod:`repro.engine` additionally takes
 ``--jobs N`` (process-parallel shard execution), ``--cache [DIR]``
 (memoise completed shards on disk), ``--cache-size MB`` (oldest-first
-pruning cap) and ``--no-cache``.  Results are bit-identical at any
+pruning cap), ``--no-cache`` and ``--backend
+{sampling,analytic,auto}`` (the evaluation backend; ``analytic`` solves
+the exact error PMF instead of simulating).  Results are bit-identical at any
 ``--jobs`` value, and ``--json`` output excludes scheduling details, so
 JSON from ``--jobs 4`` is byte-identical to ``--jobs 1``.
 
@@ -80,6 +82,12 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                        "pruned first (this run's shards are never evicted)")
     group.add_argument("--no-cache", action="store_true",
                        help="disable the shard cache even if --cache is given")
+    group.add_argument("--backend", choices=["sampling", "analytic", "auto"],
+                       default="sampling",
+                       help="evaluation backend: 'sampling' simulates, "
+                       "'analytic' solves the exact error PMF, 'auto' "
+                       "prefers analytic when the adder supports it "
+                       "(default: sampling)")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -158,6 +166,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         samples=args.samples,
         seed=args.seed,
         engine=engine,
+        backend=getattr(args, "backend", "sampling"),
     )
     if args.json:
         _print_json(sweep_to_json(results, args.n))
@@ -217,6 +226,7 @@ def _run_experiment(name: str, args: argparse.Namespace) -> int:
             samples=getattr(args, "samples", None),
             seed=getattr(args, "seed", None),
             engine=engine,
+            backend=getattr(args, "backend", None),
         )
     if getattr(args, "json", False):
         _print_json(result.to_json())
@@ -425,6 +435,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             layers=tuple(args.layer) if args.layer else LAYERS,
             seed=args.seed if args.seed is not None else DEFAULT_SEED,
             samples=args.samples if args.samples else 50_000,
+            backend=getattr(args, "backend", "sampling"),
         )
         reports = verify_registry(
             adders=args.adder or None,
@@ -714,16 +725,17 @@ def build_parser() -> argparse.ArgumentParser:
         "verify",
         help="differential conformance check across all model layers",
         description="Differentially verify every registered adder across "
-        "the behavioural, netlist, Verilog and analytic layers.  Exits 1 "
-        "when any layer disagrees; mismatches are reported with a shrunk "
-        "counterexample.",
+        "the behavioural, netlist, Verilog, statistical, analytic-PMF and "
+        "vector layers.  Exits 1 when any layer disagrees; mismatches are "
+        "reported with a shrunk counterexample.",
     )
     verify.add_argument("--adder", action="append", metavar="NAME",
                         help="registry key to verify (repeatable; "
                         "default: the full registry)")
     verify.add_argument("--layer", action="append",
-                        choices=["behavioural", "verilog", "stats", "vector"],
-                        help="layer to run (repeatable; default: all four)")
+                        choices=["behavioural", "verilog", "stats",
+                                 "analytic", "vector"],
+                        help="layer to run (repeatable; default: all five)")
     verify.add_argument("--width", type=int, default=8, metavar="N",
                         help="operand width to verify at (default: 8, "
                         "exhaustive for the behavioural layer)")

@@ -159,11 +159,17 @@ class GeArAdder(WindowedSpeculativeAdder):
 
         Computed lazily: the spec catalog itself builds GeAr windows from
         :class:`GeArConfig`, so this module cannot import it at load time.
+        The spec is immutable, so the first build is memoised.
         """
-        from repro.spec.catalog import gear_spec
+        cached = getattr(self, "_spec", None)
+        if cached is None:
+            from repro.spec.catalog import gear_spec
 
-        cfg = self.config
-        return gear_spec(cfg.n, cfg.r, cfg.p, allow_partial=cfg.allow_partial)
+            cfg = self.config
+            cached = gear_spec(cfg.n, cfg.r, cfg.p,
+                               allow_partial=cfg.allow_partial)
+            self._spec = cached
+        return cached
 
     def error_probability(self) -> float:
         """Analytic error probability from the paper's model (§3.2)."""

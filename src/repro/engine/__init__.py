@@ -4,7 +4,12 @@ The engine is the single execution substrate for every accuracy
 evaluation in the library (see ``docs/engine.md``):
 
 * :class:`EvalRequest` / :class:`EvalResult` — the unified request/result
-  API (``repro.engine.api``),
+  API (``repro.engine.api``); requests are built with the
+  ``EvalRequest.monte_carlo`` / ``.exhaustive`` / ``.fixed`` classmethods,
+* :class:`Backend` / :data:`BACKENDS` — the pluggable evaluation
+  backends (``repro.engine.backends``): the sharded ``sampling``
+  simulator and the exact ``analytic`` error-PMF solver
+  (``repro.engine.analytic``),
 * :class:`Engine` — shard planning, serial or multi-process execution,
   content-addressed shard caching and ordered merging,
 * :func:`evaluate` / :func:`get_default_engine` / :func:`use_engine` —
@@ -12,12 +17,25 @@ evaluation in the library (see ``docs/engine.md``):
   ``repro.metrics`` helpers.
 """
 
+from repro.engine.analytic import (
+    ANALYTIC_VERSION,
+    AnalyticUnsupported,
+    ErrorPMF,
+    adder_error_pmf,
+    analytic_layout,
+)
 from repro.engine.api import (
     METRICS_VERSION,
     EvalRequest,
     EvalResult,
     fingerprint_adder,
     fingerprint_distribution,
+)
+from repro.engine.backends import (
+    BACKENDS,
+    Backend,
+    register_backend,
+    resolve_backend,
 )
 from repro.engine.cache import DEFAULT_CACHE_DIR, ShardCache
 from repro.engine.core import (
@@ -37,6 +55,15 @@ from repro.engine.planner import (
 )
 
 __all__ = [
+    "ANALYTIC_VERSION",
+    "AnalyticUnsupported",
+    "ErrorPMF",
+    "adder_error_pmf",
+    "analytic_layout",
+    "BACKENDS",
+    "Backend",
+    "register_backend",
+    "resolve_backend",
     "METRICS_VERSION",
     "EvalRequest",
     "EvalResult",

@@ -35,6 +35,10 @@ METRICS_VERSION = 1
 #: Evaluation modes understood by the engine.
 MODES = ("monte_carlo", "exhaustive", "fixed")
 
+#: The backend pseudo-name that defers the sampling/analytic choice to
+#: :func:`repro.engine.backends.resolve_backend`.
+AUTO_BACKEND = "auto"
+
 
 def fingerprint_adder(adder: "AdderModel") -> str:
     """Stable identity of an adder for cache keying.
@@ -85,6 +89,12 @@ class EvalRequest:
         chunk: execution batching hint — maximum samples handed to one
             worker task.  Never affects the result, only scheduling.
         approx_values / exact_reference: fixed-mode output arrays.
+        backend: evaluation backend — a name registered in
+            :data:`repro.engine.backends.BACKENDS` (``sampling`` runs the
+            sharded simulator, ``analytic`` solves the exact error PMF)
+            or ``auto``, which picks ``analytic`` whenever the request is
+            a block-based spec it can solve and falls back to sampling
+            otherwise.
     """
 
     adder: "AdderModel"
@@ -96,10 +106,18 @@ class EvalRequest:
     chunk: Optional[int] = None
     approx_values: Optional[np.ndarray] = None
     exact_reference: Optional[np.ndarray] = None
+    backend: str = "sampling"
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise ValueError(f"unknown mode {self.mode!r}; expected one of {MODES}")
+        if self.backend != AUTO_BACKEND:
+            from repro.engine.backends import BACKENDS
+
+            if self.backend not in BACKENDS:
+                known = (*sorted(BACKENDS), AUTO_BACKEND)
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; expected one of {known}")
         object.__setattr__(self, "maa_thresholds", tuple(self.maa_thresholds))
         if self.mode == "monte_carlo":
             if self.samples is None or self.samples <= 0:
@@ -119,6 +137,64 @@ class EvalRequest:
     @property
     def width(self) -> int:
         return self.adder.width
+
+    # -- constructors -------------------------------------------------------
+    #
+    # The classmethods below are the supported way to build requests for
+    # the three modes; they replace the old ``Engine.monte_carlo()`` /
+    # ``Engine.exhaustive()`` convenience methods (now deprecated shims)
+    # so that request construction is independent of any engine instance.
+
+    @classmethod
+    def monte_carlo(
+        cls,
+        adder: "AdderModel",
+        samples: int,
+        *,
+        seed: Optional[int] = 2015,
+        distribution: Optional["OperandDistribution"] = None,
+        maa_thresholds: Sequence[float] = TABLE1_MAA_THRESHOLDS,
+        chunk: Optional[int] = None,
+        backend: str = "sampling",
+    ) -> "EvalRequest":
+        """Request for ``samples`` random operand pairs."""
+        return cls(adder=adder, mode="monte_carlo", samples=samples,
+                   seed=seed, distribution=distribution,
+                   maa_thresholds=tuple(maa_thresholds), chunk=chunk,
+                   backend=backend)
+
+    @classmethod
+    def exhaustive(
+        cls,
+        adder: "AdderModel",
+        *,
+        maa_thresholds: Sequence[float] = TABLE1_MAA_THRESHOLDS,
+        chunk: Optional[int] = None,
+        backend: str = "sampling",
+    ) -> "EvalRequest":
+        """Request covering every operand pair of the adder's width."""
+        return cls(adder=adder, mode="exhaustive",
+                   maa_thresholds=tuple(maa_thresholds), chunk=chunk,
+                   backend=backend)
+
+    @classmethod
+    def fixed(
+        cls,
+        adder: "AdderModel",
+        approx_values: np.ndarray,
+        exact_reference: np.ndarray,
+        *,
+        maa_thresholds: Sequence[float] = TABLE1_MAA_THRESHOLDS,
+        chunk: Optional[int] = None,
+    ) -> "EvalRequest":
+        """Request scoring precomputed approximate/exact output arrays.
+
+        Fixed mode replays recorded data, so it has no analytic form and
+        always runs on the sampling backend.
+        """
+        return cls(adder=adder, mode="fixed", approx_values=approx_values,
+                   exact_reference=exact_reference,
+                   maa_thresholds=tuple(maa_thresholds), chunk=chunk)
 
 
 @dataclass(frozen=True)
@@ -167,14 +243,27 @@ class EvalResult:
         }
 
 
-def request_key_material(request: EvalRequest) -> dict:
-    """The request-level half of a shard cache key (JSON-safe dict)."""
+def request_key_material(request: EvalRequest,
+                         backend: str = "sampling") -> dict:
+    """The request-level half of a shard cache key (JSON-safe dict).
+
+    ``backend`` is the *resolved* backend name (an ``auto`` request keys
+    under whichever backend actually answers it), so analytic PMFs and
+    sampled partials can never collide; analytic entries additionally
+    carry :data:`~repro.engine.analytic.ANALYTIC_VERSION` so a change to
+    the DP formulation invalidates them without touching sampled shards.
+    """
     material = {
         "v": METRICS_VERSION,
+        "backend": backend,
         "mode": request.mode,
         "adder": fingerprint_adder(request.adder),
         "thresholds": [float(t) for t in request.maa_thresholds],
     }
+    if backend == "analytic":
+        from repro.engine.analytic import ANALYTIC_VERSION
+
+        material["analytic_v"] = ANALYTIC_VERSION
     if request.mode == "monte_carlo":
         material["dist"] = fingerprint_distribution(request.distribution)
         material["samples"] = int(request.samples or 0)

@@ -9,6 +9,12 @@ stored as JSON.  The key is the SHA-256 digest of the canonical JSON of
 * the shard material — shard index, start, count, shard granularity and
   the root seed entropy.
 
+The request material always names the *resolved evaluation backend*, so
+sampled shard partials and the analytic backend's whole-request error
+PMFs (stored through the generic :meth:`ShardCache.store_payload` /
+:meth:`ShardCache.load_payload` pair) live under disjoint digests and
+can never be served for one another.
+
 Layout: ``<root>/<digest[:2]>/<digest>.json`` (git-object style fan-out
 so a directory never accumulates millions of entries).  Writes go
 through a temp file + ``os.replace`` so concurrent workers can never
@@ -105,16 +111,42 @@ class ShardCache:
         obs.count("engine.cache.bytes_read", len(text))
         return partial
 
+    def load_payload(self, digest: str) -> Optional[dict]:
+        """Return the raw JSON payload under ``digest`` (counts a hit/miss).
+
+        Generic sibling of :meth:`load` for entries that are not shard
+        partials — e.g. the analytic backend's cached error PMFs.
+        """
+        path = self._path(digest)
+        try:
+            text = path.read_text()
+            payload = json.loads(text)
+        except (OSError, ValueError):
+            self.misses += 1
+            obs.count("engine.cache.miss")
+            return None
+        if not isinstance(payload, dict):
+            self.misses += 1
+            obs.count("engine.cache.miss")
+            return None
+        self.hits += 1
+        obs.count("engine.cache.hit")
+        obs.count("engine.cache.bytes_read", len(text))
+        return payload
+
     def store(self, digest: str, partial: PartialStats,
               elapsed_s: float = 0.0) -> None:
         """Persist one shard partial atomically."""
-        path = self._path(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
+        self.store_payload(digest, {
             "version": api.METRICS_VERSION,
             "partial": partial.to_dict(),
             "elapsed_s": elapsed_s,
-        }
+        })
+
+    def store_payload(self, digest: str, payload: dict) -> None:
+        """Persist an arbitrary JSON-safe payload atomically under ``digest``."""
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
         text = json.dumps(payload, sort_keys=True)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(text)

@@ -1,7 +1,10 @@
 """The work-scheduling engine: shard, execute, cache, merge.
 
 :class:`Engine` turns an :class:`~repro.engine.api.EvalRequest` into an
-:class:`~repro.engine.api.EvalResult`:
+:class:`~repro.engine.api.EvalResult`.  Dispatch goes through the
+backend registry (:mod:`repro.engine.backends`): the ``analytic``
+backend answers supported requests from the exact error PMF, while the
+default ``sampling`` backend runs the sharded simulator:
 
 1. **Plan** — the request is split into canonical shards
    (:mod:`repro.engine.planner`); the plan never depends on worker count.
@@ -23,6 +26,7 @@ from __future__ import annotations
 import contextlib
 import math
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -173,14 +177,25 @@ class Engine:
     # -- evaluation ---------------------------------------------------------
 
     def evaluate(self, request: EvalRequest) -> EvalResult:
-        """Run one request to a merged :class:`ErrorStats`."""
-        with obs.span("engine.evaluate"):
-            return self._evaluate(request)
+        """Run one request to a merged :class:`ErrorStats`.
 
-    def _evaluate(self, request: EvalRequest) -> EvalResult:
+        The request's ``backend`` field selects who does the mathematics
+        (see :mod:`repro.engine.backends`); the engine contributes cache,
+        jobs and telemetry plumbing either way.
+        """
+        from repro.engine.backends import resolve_backend
+
+        with obs.span("engine.evaluate"):
+            backend = resolve_backend(request)
+            obs.count("engine.requests")
+            obs.count(f"engine.backend.{backend.name}.requests")
+            with obs.span(f"engine.backend.{backend.name}"):
+                return backend.evaluate(request, self)
+
+    def _run_sampling(self, request: EvalRequest) -> EvalResult:
+        """The sharded simulator (the ``sampling`` backend's entry point)."""
         started = time.perf_counter()
         shards = self._plan(request)
-        obs.count("engine.requests")
         obs.count("engine.shards.planned", len(shards))
         distribution = request.distribution
         if request.mode == "monte_carlo" and distribution is None:
@@ -192,7 +207,7 @@ class Engine:
         digests: Dict[int, str] = {}
         use_cache = self._cacheable(request)
         if use_cache:
-            material = api.request_key_material(request)
+            material = api.request_key_material(request, backend="sampling")
             for shard in shards:
                 digest = ShardCache.shard_key(
                     material, shard.index, shard.start, shard.count,
@@ -265,28 +280,38 @@ class Engine:
             shard_timings=tuple(timings),
         )
 
-    # -- conveniences -------------------------------------------------------
+    # -- deprecated conveniences --------------------------------------------
+    #
+    # Request construction moved onto EvalRequest itself
+    # (EvalRequest.monte_carlo / .exhaustive / .fixed); these shims keep
+    # the old spelling working for two releases while warning.
 
     def monte_carlo(self, adder, samples: int, seed: Optional[int] = 2015,
                     distribution: Optional["OperandDistribution"] = None,
                     maa_thresholds=None, chunk: Optional[int] = None) -> ErrorStats:
-        """Monte-Carlo :class:`ErrorStats` through the engine."""
+        """Deprecated: build an :meth:`EvalRequest.monte_carlo` instead."""
+        warnings.warn(
+            "Engine.monte_carlo() is deprecated; build the request with "
+            "EvalRequest.monte_carlo(...) and call Engine.evaluate()",
+            DeprecationWarning, stacklevel=2)
         kwargs = {} if maa_thresholds is None else {
             "maa_thresholds": tuple(maa_thresholds)
         }
-        return self.evaluate(EvalRequest(
-            adder=adder, mode="monte_carlo", samples=samples, seed=seed,
-            distribution=distribution, chunk=chunk, **kwargs,
+        return self.evaluate(EvalRequest.monte_carlo(
+            adder, samples, seed=seed, distribution=distribution,
+            chunk=chunk, **kwargs,
         )).stats
 
     def exhaustive(self, adder, maa_thresholds=None) -> ErrorStats:
-        """Exhaustive :class:`ErrorStats` through the engine."""
+        """Deprecated: build an :meth:`EvalRequest.exhaustive` instead."""
+        warnings.warn(
+            "Engine.exhaustive() is deprecated; build the request with "
+            "EvalRequest.exhaustive(...) and call Engine.evaluate()",
+            DeprecationWarning, stacklevel=2)
         kwargs = {} if maa_thresholds is None else {
             "maa_thresholds": tuple(maa_thresholds)
         }
-        return self.evaluate(EvalRequest(
-            adder=adder, mode="exhaustive", **kwargs,
-        )).stats
+        return self.evaluate(EvalRequest.exhaustive(adder, **kwargs)).stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cache = self.cache.root if self.cache else None

@@ -30,6 +30,7 @@ from repro.experiments.ablation import (
     render_distribution_sensitivity_ablation,
     render_correction_policy_ablation,
 )
+from repro.experiments.sweep import run_sweep, render_sweep
 
 
 @dataclass(frozen=True)
@@ -38,7 +39,8 @@ class ExperimentSpec:
 
     ``accepts`` lists the runner keyword arguments the CLI may forward
     (``samples``/``seed`` for stochastic artefacts, ``engine`` for any
-    artefact that evaluates through :mod:`repro.engine`).
+    artefact that evaluates through :mod:`repro.engine`, ``backend`` for
+    runners that can answer on a non-default evaluation backend).
     """
 
     name: str
@@ -48,7 +50,7 @@ class ExperimentSpec:
     accepts: tuple = ()
 
     def run(self, *, samples: Optional[int] = None, seed: Optional[int] = None,
-            engine=None):
+            engine=None, backend: Optional[str] = None):
         kwargs = {}
         if samples is not None and "samples" in self.accepts:
             kwargs["samples"] = samples
@@ -56,6 +58,8 @@ class ExperimentSpec:
             kwargs["seed"] = seed
         if engine is not None and "engine" in self.accepts:
             kwargs["engine"] = engine
+        if backend is not None and "backend" in self.accepts:
+            kwargs["backend"] = backend
         return self.runner(**kwargs)
 
 
@@ -92,6 +96,9 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
                        render_correction_policy_ablation,
                        "selective error-correction policy sweep",
                        accepts=("samples", "seed")),
+        ExperimentSpec("sweep", run_sweep, render_sweep,
+                       "GeAr accuracy sweep (backend demonstration, N=12)",
+                       accepts=("samples", "seed", "engine", "backend")),
     )
 }
 
@@ -120,4 +127,6 @@ __all__ = [
     "run_correction_policy_ablation",
     "render_distribution_sensitivity_ablation",
     "render_correction_policy_ablation",
+    "run_sweep",
+    "render_sweep",
 ]

@@ -106,8 +106,8 @@ def run_distribution_sensitivity_ablation(
         bitwise: Dict[str, float] = {}
         for name, dist in _distributions(n).items():
             measured[name] = evaluate(
-                EvalRequest(adder=adder, mode="monte_carlo", samples=samples,
-                            seed=seed, distribution=dist),
+                EvalRequest.monte_carlo(adder, samples, seed=seed,
+                                        distribution=dist),
                 engine=engine,
             ).stats.error_rate
             bitwise[name] = predict_error_rate(

@@ -134,12 +134,11 @@ def run_table1(image: Optional[np.ndarray] = None, engine=None) -> "ExperimentRe
         char = characterize(adder)
         approx = integral_image_rows(image, adder)
         stats = evaluate(
-            EvalRequest(
-                adder=adder,
-                mode="fixed",
+            EvalRequest.fixed(
+                adder,
+                approx.ravel(),
+                exact.ravel(),
                 maa_thresholds=TABLE1_MAA_THRESHOLDS,
-                approx_values=approx.ravel(),
-                exact_reference=exact.ravel(),
             ),
             engine=engine,
         ).stats

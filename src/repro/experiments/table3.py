@@ -71,8 +71,7 @@ def run_table3(samples: int = PAPER_SAMPLE_COUNT, seed: int = 2015,
         cfg = GeArConfig(n, r, p, allow_partial=(n - r - p) % r != 0)
         adder = GeArAdder(cfg)
         measured = evaluate(
-            EvalRequest(adder=adder, mode="monte_carlo", samples=samples,
-                        seed=seed),
+            EvalRequest.monte_carlo(adder, samples, seed=seed),
             engine=engine,
         ).stats.error_rate
         rows.append(

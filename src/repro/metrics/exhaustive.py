@@ -44,8 +44,8 @@ def exhaustive_stats(
     from repro.engine import EvalRequest, evaluate
 
     return evaluate(
-        EvalRequest(adder=adder, mode="exhaustive",
-                    maa_thresholds=tuple(maa_thresholds), chunk=chunk_rows),
+        EvalRequest.exhaustive(adder, maa_thresholds=tuple(maa_thresholds),
+                               chunk=chunk_rows),
         engine=engine,
     ).stats
 

@@ -17,6 +17,7 @@ See ``docs/obs.md`` for the instrumentation map and trace format.
 from repro.obs.aggregate import (
     DEFAULT_BOUNDS,
     DURATION_BOUNDS,
+    SIZE_BOUNDS,
     GaugeStat,
     HistogramState,
     SpanStat,
@@ -48,6 +49,7 @@ from repro.obs.export import (
 __all__ = [
     "DEFAULT_BOUNDS",
     "DURATION_BOUNDS",
+    "SIZE_BOUNDS",
     "GaugeStat",
     "HistogramState",
     "SpanStat",

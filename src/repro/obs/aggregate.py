@@ -35,6 +35,7 @@ from typing import Dict, Iterable, Mapping, Tuple
 __all__ = [
     "DEFAULT_BOUNDS",
     "DURATION_BOUNDS",
+    "SIZE_BOUNDS",
     "GaugeStat",
     "HistogramState",
     "SpanStat",
@@ -49,6 +50,10 @@ DEFAULT_BOUNDS: Tuple[float, ...] = tuple(10.0 ** e for e in range(-6, 7))
 DURATION_BOUNDS: Tuple[float, ...] = (
     1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0,
 )
+
+#: Bounds tuned for discrete set sizes (analytic PMF support, shard
+#: counts, ...): powers of two up to the engine's support cap.
+SIZE_BOUNDS: Tuple[float, ...] = tuple(float(1 << e) for e in range(0, 21, 2))
 
 
 @dataclass(frozen=True)

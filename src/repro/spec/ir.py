@@ -279,15 +279,21 @@ class AdderSpec:
         Includes the spec name: two families may share a geometry (ACA-II
         and a GeAr coverage point, §3.1) yet must stay distinguishable in
         registries; equal fingerprints still imply identical sums because
-        the geometry fully determines behaviour.
+        the geometry fully determines behaviour.  Specs are immutable, so
+        the string is built once and memoised.
         """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
         layout = ";".join(
             f"{w.low}.{w.high}.{w.result_low}.{w.result_high}.{w.arch}.{w.pred}"
             for w in self.windows
         )
         detect = 1 if self.error_detect else 0
-        return (f"spec/v{SPEC_VERSION}:{self.name}:w{self.width}"
-                f":t{self.truncation}:d{detect}:[{layout}]")
+        cached = (f"spec/v{SPEC_VERSION}:{self.name}:w{self.width}"
+                  f":t{self.truncation}:d{detect}:[{layout}]")
+        object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     # -- (de)serialisation --------------------------------------------------
 
@@ -356,6 +362,23 @@ class AdderSpec:
         """Analytic EP/MED/max-ED terms over the window geometry."""
         return ErrorTerms(width=self.width, windows=self.to_windows(),
                           truncation=self.truncation)
+
+    def to_error_pmf(self, one_density: float = 0.5):
+        """Exact signed error PMF of this spec.
+
+        ``one_density`` is the probability that any operand bit is one
+        (bits independent, both operands i.i.d. — 0.5 reproduces the
+        uniform-operand setting).  Returns an
+        :class:`~repro.engine.analytic.ErrorPMF`; EP/MED/max-ED taken
+        from it agree with :meth:`to_error_terms` where the closed-form
+        terms exist, and remain exact where they do not (e.g. truncated
+        specs).
+        """
+        from repro.engine.analytic import error_pmf
+
+        return error_pmf(self.width, self.to_windows(),
+                         truncation=self.truncation,
+                         bit_one=(float(one_density),) * self.width)
 
     def to_windows(self) -> Tuple[SpeculativeWindow, ...]:
         """The behavioural window layout (absolute bit coordinates)."""

@@ -39,6 +39,18 @@ class OperandDistribution(abc.ABC):
             raise AssertionError("distribution produced out-of-range operands")
         return a, b
 
+    def bit_probabilities(self) -> Optional[Tuple[float, ...]]:
+        """Per-bit one-probabilities, when the distribution has that form.
+
+        Returns ``width`` floats — ``p[i]`` is the probability that bit
+        ``i`` of a drawn operand is one, with all bits independent and
+        both operands i.i.d. — or ``None`` when the distribution cannot
+        be factored per bit (Gaussian, exponential, image patches, ...).
+        The analytic engine backend serves Monte-Carlo requests exactly
+        for distributions that return a profile here.
+        """
+        return None
+
     def fingerprint(self) -> str:
         """Stable identity string for the engine's shard cache keys.
 
@@ -65,6 +77,9 @@ class UniformOperands(OperandDistribution):
         a = rng.integers(0, high, size=count, dtype=np.int64)
         b = rng.integers(0, high, size=count, dtype=np.int64)
         return a, b
+
+    def bit_probabilities(self) -> Tuple[float, ...]:
+        return (0.5,) * self.width
 
 
 class GaussianOperands(OperandDistribution):
@@ -140,6 +155,9 @@ class SparseOperands(OperandDistribution):
             return (bits * weights).sum(axis=1).astype(np.int64)
 
         return draw(), draw()
+
+    def bit_probabilities(self) -> Tuple[float, ...]:
+        return (self.one_density,) * self.width
 
 
 class ImagePatchOperands(OperandDistribution):

@@ -1,7 +1,8 @@
 """Cross-layer conformance harness (``gear verify``).
 
-The repo models every adder at four layers — behavioural Python,
-gate-level netlist, emitted/re-parsed Verilog and analytic error models.
+The repo models every adder at five layers — behavioural Python,
+gate-level netlist, emitted/re-parsed Verilog, analytic error models and
+the exact error-PMF backend.
 This package differentially verifies that all layers agree for every
 adder in the conformance registry, with exhaustive proofs where the input
 space permits and seeded sampling plus greedy counterexample shrinking
@@ -9,6 +10,7 @@ where it does not.  See ``docs/verify.md``.
 """
 
 from repro.verify.oracles import (
+    check_analytic,
     check_behavioural,
     check_stats,
     check_vector,
@@ -43,6 +45,7 @@ __all__ = [
     "RegisteredAdder",
     "VectorSet",
     "VerifyOptions",
+    "check_analytic",
     "check_behavioural",
     "check_stats",
     "check_vector",

@@ -1,4 +1,4 @@
-"""The four differential layer checks.
+"""The five differential layer checks.
 
 Each oracle compares two independent descriptions of the same adder and
 returns a :class:`~repro.verify.report.LayerResult`:
@@ -13,6 +13,12 @@ returns a :class:`~repro.verify.report.LayerResult`:
   analytic ``error_probability()`` / ``mean_error_distance()`` /
   ``max_error_distance()`` models, with confidence bounds in the sampled
   regime,
+* :func:`check_analytic` — the exact error-PMF backend
+  (:mod:`repro.engine.analytic`) against exhaustively measured
+  statistics: EP/MED/max-ED must agree to ``ANALYTIC_TOL`` at widths up
+  to the exhaustive cap (an equality proof over every operand pair);
+  above the cap the PMF invariants and the closed-form window models are
+  checked instead,
 * :func:`check_vector` — the scalar and NumPy-vectorised ``_add_impl``
   paths against each other (plus ``error_distance`` and
   ``detection_flags`` where exposed).
@@ -48,6 +54,9 @@ CONFIDENCE_Z = 4.5
 
 #: Width cap for measuring stats exhaustively (2^{2N} pairs).
 STATS_EXHAUSTIVE_WIDTH = 10
+
+#: Width cap for proving the analytic PMF against exhaustive statistics.
+ANALYTIC_EXHAUSTIVE_WIDTH = 12
 
 #: Relative/absolute tolerance for exhaustive-vs-analytic float compares.
 ANALYTIC_TOL = 1e-9
@@ -212,7 +221,8 @@ def _shrink_verilog(model: AdderModel, build: Optional[AdderFactory],
 def check_stats(model: AdderModel, engine=None,
                 exhaustive_width_cap: int = STATS_EXHAUSTIVE_WIDTH,
                 samples: int = 50_000, seed: int = 2015,
-                z: float = CONFIDENCE_Z) -> LayerResult:
+                z: float = CONFIDENCE_Z,
+                backend: str = "sampling") -> LayerResult:
     """Layer (c): measured error statistics vs the analytic models.
 
     Exhaustive through the engine when the width permits (equalities are
@@ -223,11 +233,14 @@ def check_stats(model: AdderModel, engine=None,
 
     exhaustive = model.width <= exhaustive_width_cap
     if exhaustive:
-        request = EvalRequest(adder=model, mode="exhaustive")
+        request = EvalRequest.exhaustive(model, backend=backend)
     else:
-        request = EvalRequest(adder=model, mode="monte_carlo",
-                              samples=samples, seed=seed)
+        request = EvalRequest.monte_carlo(model, samples, seed=seed,
+                                          backend=backend)
     stats = evaluate(request, engine=engine).stats
+    # An analytic-backend answer (samples == 0) is the infinite-sample
+    # limit: compare exactly even when the width is past the cap.
+    exact = exhaustive or stats.samples == 0
 
     details: dict = {"mode": request.mode, "samples": stats.samples,
                      "measured_error_rate": stats.error_rate}
@@ -238,10 +251,10 @@ def check_stats(model: AdderModel, engine=None,
         details["error_probability"] = "skip (no analytic model)"
     else:
         details["analytic_error_rate"] = analytic_ep
-        if exhaustive:
+        if exact:
             if abs(stats.error_rate - analytic_ep) > ANALYTIC_TOL:
                 failures.append(
-                    f"exhaustive error rate {stats.error_rate:.10f} != "
+                    f"measured error rate {stats.error_rate:.10f} != "
                     f"analytic {analytic_ep:.10f}")
         else:
             errors = int(round(stats.error_rate * stats.samples))
@@ -254,7 +267,7 @@ def check_stats(model: AdderModel, engine=None,
                     f"consistency interval (z={z})")
 
     mean_fn = getattr(model, "mean_error_distance", None)
-    if callable(mean_fn) and exhaustive:
+    if callable(mean_fn) and exact:
         analytic_med = float(mean_fn())
         details["measured_med"] = stats.med
         details["analytic_med"] = analytic_med
@@ -291,6 +304,107 @@ def check_stats(model: AdderModel, engine=None,
                            message="; ".join(failures), details=details)
     return LayerResult("stats", LayerStatus.PASS, exhaustive=exhaustive,
                        vectors=stats.samples, details=details)
+
+
+def check_analytic(model: AdderModel, engine=None,
+                   exhaustive_width_cap: int = ANALYTIC_EXHAUSTIVE_WIDTH
+                   ) -> LayerResult:
+    """Layer: the exact error-PMF backend vs exhaustively measured stats.
+
+    For block-based adders the :mod:`repro.engine.analytic` DP claims the
+    *full* signed error distribution.  At widths up to
+    ``exhaustive_width_cap`` this oracle enumerates every operand pair
+    through the sampling engine and demands EP, MED and max-ED agree to
+    ``ANALYTIC_TOL`` — an equality proof over ``4**N`` patterns.  Above
+    the cap it checks the PMF invariants (non-negative, sums to one,
+    support within the max-ED bound) and the closed-form window models
+    where they exist.  Adders without a block-based layout (overridden
+    ``_add_impl`` and no spec) are skipped.
+    """
+    import math
+
+    from repro.engine import EvalRequest, evaluate
+    from repro.engine.analytic import (
+        AnalyticUnsupported,
+        adder_error_pmf,
+        analytic_layout,
+    )
+
+    if analytic_layout(model) is None:
+        return LayerResult(
+            "analytic", LayerStatus.SKIP,
+            message="adder is not a pure block-based windowed model")
+    try:
+        pmf = adder_error_pmf(model)
+    except AnalyticUnsupported as exc:
+        return LayerResult("analytic", LayerStatus.SKIP, message=str(exc))
+
+    failures: List[str] = []
+    total = math.fsum(pmf.probabilities)
+    details: dict = {
+        "support": len(pmf.support),
+        "total_mass": total,
+        "analytic_error_rate": pmf.error_rate,
+        "analytic_med": pmf.med,
+        "analytic_max_ed": pmf.max_abs,
+    }
+    if abs(total - 1.0) > ANALYTIC_TOL:
+        failures.append(f"PMF mass {total!r} != 1")
+    if any(p <= 0.0 for p in pmf.probabilities):
+        failures.append("PMF carries non-positive probabilities")
+
+    bound_fn = getattr(model, "max_error_distance", None)
+    if callable(bound_fn):
+        bound = int(bound_fn())
+        details["max_ed_bound"] = bound
+        if pmf.max_abs > bound:
+            failures.append(f"PMF support reaches {pmf.max_abs}, beyond "
+                            f"the analytic bound {bound}")
+
+    exhaustive = model.width <= exhaustive_width_cap
+    if exhaustive:
+        stats = evaluate(EvalRequest.exhaustive(model), engine=engine).stats
+        details["measured_error_rate"] = stats.error_rate
+        details["measured_med"] = stats.med
+        details["measured_max_ed"] = stats.max_ed_observed
+        vectors = stats.samples
+        if abs(pmf.error_rate - stats.error_rate) > ANALYTIC_TOL:
+            failures.append(
+                f"PMF error rate {pmf.error_rate:.12f} != exhaustive "
+                f"{stats.error_rate:.12f}")
+        scale = max(1.0, abs(stats.med))
+        if abs(pmf.med - stats.med) > ANALYTIC_TOL * scale:
+            failures.append(
+                f"PMF MED {pmf.med:.12f} != exhaustive {stats.med:.12f}")
+        if pmf.max_abs != stats.max_ed_observed:
+            failures.append(
+                f"PMF max ED {pmf.max_abs} != exhaustive "
+                f"{stats.max_ed_observed}")
+    else:
+        vectors = len(pmf.support)
+        ep_fn = model.error_probability()
+        if ep_fn is not None and abs(pmf.error_rate - ep_fn) > ANALYTIC_TOL:
+            failures.append(
+                f"PMF error rate {pmf.error_rate:.12f} != closed-form "
+                f"{ep_fn:.12f}")
+        mean_fn = getattr(model, "mean_error_distance", None)
+        try:
+            closed_med = mean_fn() if callable(mean_fn) else None
+        except (ArithmeticError, RuntimeError, ValueError):
+            closed_med = None  # closed form undefined at this geometry
+        if closed_med is not None:
+            scale = max(1.0, abs(float(closed_med)))
+            if abs(pmf.med - float(closed_med)) > ANALYTIC_TOL * scale:
+                failures.append(
+                    f"PMF MED {pmf.med:.12f} != closed-form "
+                    f"{float(closed_med):.12f}")
+
+    if failures:
+        return LayerResult("analytic", LayerStatus.FAIL,
+                           exhaustive=exhaustive, vectors=vectors,
+                           message="; ".join(failures), details=details)
+    return LayerResult("analytic", LayerStatus.PASS, exhaustive=exhaustive,
+                       vectors=vectors, details=details)
 
 
 def check_vector(model: AdderModel, vectors: VectorSet,

@@ -7,6 +7,8 @@ is fixed (:data:`LAYERS`):
 * ``behavioural`` — behavioural ``add()`` vs gate-level netlist simulation,
 * ``verilog``     — netlist vs its Verilog emit→parse round-trip,
 * ``stats``       — measured error statistics vs the analytic models,
+* ``analytic``    — the exact error-PMF backend vs exhaustive statistics
+  (a proof at small widths; PMF invariants above the exhaustive cap),
 * ``vector``      — scalar vs vectorised ``_add_impl`` code paths.
 
 A layer that does not apply to an adder (e.g. ``behavioural`` for a model
@@ -21,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 #: Canonical layer names, in verification order.
-LAYERS = ("behavioural", "verilog", "stats", "vector")
+LAYERS = ("behavioural", "verilog", "stats", "analytic", "vector")
 
 
 class LayerStatus(enum.Enum):

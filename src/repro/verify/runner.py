@@ -20,8 +20,10 @@ from typing import Iterable, List, Optional, Sequence
 from repro import obs
 from repro.engine import fingerprint_adder
 from repro.verify.oracles import (
+    ANALYTIC_EXHAUSTIVE_WIDTH,
     MAX_SCALAR_PROBES,
     STATS_EXHAUSTIVE_WIDTH,
+    check_analytic,
     check_behavioural,
     check_stats,
     check_vector,
@@ -51,7 +53,9 @@ class VerifyOptions:
     random_vectors: int = DEFAULT_RANDOM_VECTORS
     max_exhaustive_bits: int = MAX_EXHAUSTIVE_BITS
     stats_exhaustive_cap: int = STATS_EXHAUSTIVE_WIDTH
+    analytic_exhaustive_cap: int = ANALYTIC_EXHAUSTIVE_WIDTH
     max_scalar: int = MAX_SCALAR_PROBES
+    backend: str = "sampling"
 
     def __post_init__(self) -> None:
         if self.width < 1:
@@ -95,7 +99,12 @@ def verify_adder(entry: RegisteredAdder,
                     results.append(check_stats(
                         model, engine=engine,
                         exhaustive_width_cap=options.stats_exhaustive_cap,
-                        samples=options.samples, seed=options.seed))
+                        samples=options.samples, seed=options.seed,
+                        backend=options.backend))
+                elif layer == "analytic":
+                    results.append(check_analytic(
+                        model, engine=engine,
+                        exhaustive_width_cap=options.analytic_exhaustive_cap))
                 else:
                     results.append(check_vector(
                         model, vectors, build=entry,
