@@ -19,8 +19,9 @@ subcommand that evaluates through :mod:`repro.engine` additionally takes
 ``--jobs N`` (process-parallel shard execution), ``--cache [DIR]``
 (memoise completed shards on disk), ``--cache-size MB`` (oldest-first
 pruning cap), ``--no-cache`` and ``--backend
-{sampling,analytic,auto}`` (the evaluation backend; ``analytic`` solves
-the exact error PMF instead of simulating).  Results are bit-identical at any
+{sampling,analytic,compiled,auto}`` (the evaluation backend;
+``analytic`` solves the exact error PMF instead of simulating,
+``compiled`` samples through the bit-sliced netlist kernel).  Results are bit-identical at any
 ``--jobs`` value, and ``--json`` output excludes scheduling details, so
 JSON from ``--jobs 4`` is byte-identical to ``--jobs 1``.
 
@@ -82,11 +83,13 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                        "pruned first (this run's shards are never evicted)")
     group.add_argument("--no-cache", action="store_true",
                        help="disable the shard cache even if --cache is given")
-    group.add_argument("--backend", choices=["sampling", "analytic", "auto"],
+    group.add_argument("--backend",
+                       choices=["sampling", "analytic", "compiled", "auto"],
                        default="sampling",
                        help="evaluation backend: 'sampling' simulates, "
-                       "'analytic' solves the exact error PMF, 'auto' "
-                       "prefers analytic when the adder supports it "
+                       "'analytic' solves the exact error PMF, 'compiled' "
+                       "samples through the bit-sliced netlist kernel, "
+                       "'auto' prefers analytic when the adder supports it "
                        "(default: sampling)")
 
 
@@ -725,17 +728,17 @@ def build_parser() -> argparse.ArgumentParser:
         "verify",
         help="differential conformance check across all model layers",
         description="Differentially verify every registered adder across "
-        "the behavioural, netlist, Verilog, statistical, analytic-PMF and "
-        "vector layers.  Exits 1 when any layer disagrees; mismatches are "
-        "reported with a shrunk counterexample.",
+        "the behavioural, netlist, Verilog, statistical, analytic-PMF, "
+        "compiled-kernel and vector layers.  Exits 1 when any layer "
+        "disagrees; mismatches are reported with a shrunk counterexample.",
     )
     verify.add_argument("--adder", action="append", metavar="NAME",
                         help="registry key to verify (repeatable; "
                         "default: the full registry)")
     verify.add_argument("--layer", action="append",
                         choices=["behavioural", "verilog", "stats",
-                                 "analytic", "vector"],
-                        help="layer to run (repeatable; default: all five)")
+                                 "analytic", "compiled", "vector"],
+                        help="layer to run (repeatable; default: all six)")
     verify.add_argument("--width", type=int, default=8, metavar="N",
                         help="operand width to verify at (default: 8, "
                         "exhaustive for the behavioural layer)")

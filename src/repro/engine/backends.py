@@ -13,6 +13,10 @@ caching and telemetry plumbing, the backend owns the mathematics:
   :class:`~repro.adders.base.WindowedSpeculativeAdder` subclasses) in
   Monte-Carlo mode with a per-bit-independent distribution, or in
   exhaustive mode; ``fixed`` replay has no analytic form.
+* ``compiled`` — the same sharded simulator, but every sum computed by
+  the bit-sliced gate-level kernel of :mod:`repro.rtl.compile` instead
+  of the behavioural model.  Supports any netlist-bearing adder outside
+  ``fixed`` mode.
 
 Requests name their backend (``EvalRequest.backend``); the pseudo-name
 ``auto`` resolves to ``analytic`` when the request is solvable and falls
@@ -27,6 +31,7 @@ into every cache key via :func:`repro.engine.api.request_key_material`.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import TYPE_CHECKING, Dict, Optional, Protocol, runtime_checkable
 
@@ -49,6 +54,7 @@ __all__ = [
     "BACKENDS",
     "AnalyticBackend",
     "Backend",
+    "CompiledBackend",
     "SamplingBackend",
     "register_backend",
     "resolve_backend",
@@ -165,6 +171,47 @@ class AnalyticBackend:
         )
 
 
+class CompiledBackend:
+    """Sampling over the bit-sliced compiled netlist kernel.
+
+    Substitutes a :class:`repro.rtl.compile.CompiledAdder` for the
+    behavioural model and reuses the entire sharded sampling pipeline —
+    shard planning, per-shard seed streams, partial merging, the on-disk
+    cache — so results are ``--jobs``-invariant exactly like plain
+    sampling.  Shard partials are keyed under ``backend="compiled"`` (and
+    the proxy's own ``compiled/v…`` fingerprint), so they can never be
+    confused with behavioural sampling partials.
+    """
+
+    name = "compiled"
+
+    def supports(self, request: "EvalRequest") -> bool:
+        return self.why_unsupported(request) is None
+
+    def why_unsupported(self, request: "EvalRequest") -> Optional[str]:
+        """Why the request cannot run on the compiled kernel (or None)."""
+        if request.mode == "fixed":
+            return ("fixed mode replays recorded output arrays; there is "
+                    "no netlist to simulate")
+        from repro.rtl.compile import _netlist_of
+
+        if _netlist_of(request.adder) is None:
+            return (f"adder {request.adder.name!r} has no gate-level "
+                    "netlist to compile")
+        return None
+
+    def evaluate(self, request: "EvalRequest",
+                 engine: "Engine") -> "EvalResult":
+        reason = self.why_unsupported(request)
+        if reason is not None:
+            raise AnalyticUnsupported(reason)
+        from repro.rtl.compile import CompiledAdder
+
+        proxied = dataclasses.replace(request,
+                                      adder=CompiledAdder(request.adder))
+        return engine._run_sampling(proxied, backend_name=self.name)
+
+
 #: Registered backends by name; ``EvalRequest.backend`` validates against
 #: this mapping (plus the ``auto`` pseudo-name).
 BACKENDS: Dict[str, Backend] = {}
@@ -181,6 +228,7 @@ def register_backend(backend: Backend) -> Backend:
 
 register_backend(SamplingBackend())
 register_backend(AnalyticBackend())
+register_backend(CompiledBackend())
 
 
 def resolve_backend(request: "EvalRequest") -> Backend:

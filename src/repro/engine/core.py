@@ -192,8 +192,14 @@ class Engine:
             with obs.span(f"engine.backend.{backend.name}"):
                 return backend.evaluate(request, self)
 
-    def _run_sampling(self, request: EvalRequest) -> EvalResult:
-        """The sharded simulator (the ``sampling`` backend's entry point)."""
+    def _run_sampling(self, request: EvalRequest,
+                      backend_name: str = "sampling") -> EvalResult:
+        """The sharded simulator (the ``sampling`` backend's entry point).
+
+        ``backend_name`` qualifies every shard cache key: the ``compiled``
+        backend reuses this whole pipeline with a substituted adder, and
+        its partials must never collide with plain sampled ones.
+        """
         started = time.perf_counter()
         shards = self._plan(request)
         obs.count("engine.shards.planned", len(shards))
@@ -207,7 +213,7 @@ class Engine:
         digests: Dict[int, str] = {}
         use_cache = self._cacheable(request)
         if use_cache:
-            material = api.request_key_material(request, backend="sampling")
+            material = api.request_key_material(request, backend=backend_name)
             for shard in shards:
                 digest = ShardCache.shard_key(
                     material, shard.index, shard.start, shard.count,

@@ -6,6 +6,8 @@ package substitutes that flow with a pure-Python equivalent:
 * :mod:`repro.rtl.gates` / :mod:`repro.rtl.netlist` — gate primitives and a
   netlist graph with named buses,
 * :mod:`repro.rtl.sim` — vectorised functional simulation,
+* :mod:`repro.rtl.compile` — compiled bit-sliced simulation kernels
+  (64 vectors per ``uint64`` word; see ``docs/compile.md``),
 * :mod:`repro.rtl.sta` — static timing analysis (critical path),
 * :mod:`repro.rtl.area` — LUT-count estimation via greedy cone packing,
 * :mod:`repro.rtl.builders` — constructors for RCA / CLA / GeAr / ETAII /
@@ -20,6 +22,7 @@ package substitutes that flow with a pure-Python equivalent:
 from repro.rtl.gates import Op, Gate, GATE_ARITY
 from repro.rtl.netlist import Netlist
 from repro.rtl.sim import simulate, simulate_bus
+from repro.rtl.compile import CompiledKernel, compile_netlist, compiled_kernel
 from repro.rtl.sta import DelayModel, UnitDelayModel, FpgaDelayModel, critical_path_delay, arrival_times
 from repro.rtl.area import estimate_luts
 from repro.rtl.verilog import to_verilog
@@ -39,6 +42,9 @@ __all__ = [
     "Netlist",
     "simulate",
     "simulate_bus",
+    "CompiledKernel",
+    "compile_netlist",
+    "compiled_kernel",
     "DelayModel",
     "UnitDelayModel",
     "FpgaDelayModel",

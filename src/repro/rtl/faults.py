@@ -136,34 +136,46 @@ def fault_simulation(
     vectors: int = 256,
     seed: int = 7,
     faults: Optional[Sequence[Fault]] = None,
+    simulator: str = "interpreted",
 ) -> FaultReport:
     """Simulate every fault against seeded random vectors.
 
     A fault counts as *detected* when any output bus differs from the
     golden netlist on some vector, and as *ERR-flagged* when the ``ERR``
     bus (if present) differs — i.e. the §3.3 detector reacts to the defect.
+
+    ``simulator`` selects the evaluation machinery: ``"interpreted"``
+    rebuilds and re-simulates a faulty netlist per fault via
+    :func:`inject_fault`; ``"compiled"`` packs the vectors once, compiles
+    one bit-sliced kernel (:mod:`repro.rtl.compile`) and replays it with
+    per-fault stuck-at forcing, comparing outputs in the packed domain.
+    Both produce the same report for the same arguments
+    (``tests/test_compile_faults.py`` pins that parity).
     """
     check_pos_int("vectors", vectors)
+    if simulator not in ("interpreted", "compiled"):
+        raise ValueError(
+            f"simulator must be 'interpreted' or 'compiled', got {simulator!r}")
     rng = np.random.default_rng(seed)
     stimulus = {
         bus: rng.integers(0, 1 << width, size=vectors, dtype=np.int64)
         for bus, width in netlist.input_buses.items()
     }
-    golden = _outputs(netlist, simulate(netlist, stimulus))
     fault_list = list(faults) if faults is not None else enumerate_faults(netlist)
+
+    if simulator == "compiled":
+        fault_hits = _compiled_fault_sweep(netlist, stimulus, vectors,
+                                           fault_list)
+    else:
+        fault_hits = _interpreted_fault_sweep(netlist, stimulus, fault_list)
 
     detected = 0
     flagged = 0
     undetected: List[Fault] = []
-    for fault in fault_list:
-        faulty = inject_fault(netlist, fault)
-        outputs = _outputs(faulty, simulate(faulty, stimulus))
-        differs = any(
-            np.any(outputs[bus] != golden[bus]) for bus in golden
-        )
+    for fault, (differs, err_differs) in zip(fault_list, fault_hits):
         if differs:
             detected += 1
-            if "ERR" in golden and np.any(outputs["ERR"] != golden["ERR"]):
+            if err_differs:
                 flagged += 1
         else:
             undetected.append(fault)
@@ -173,3 +185,60 @@ def fault_simulation(
         flagged_by_err=flagged,
         undetected=undetected,
     )
+
+
+def _interpreted_fault_sweep(
+    netlist: Netlist, stimulus: Dict[str, np.ndarray],
+    fault_list: Sequence[Fault],
+) -> List[Tuple[bool, bool]]:
+    """(differs, ERR differs) per fault via per-fault netlist rewriting."""
+    golden = _outputs(netlist, simulate(netlist, stimulus))
+    hits: List[Tuple[bool, bool]] = []
+    for fault in fault_list:
+        faulty = inject_fault(netlist, fault)
+        outputs = _outputs(faulty, simulate(faulty, stimulus))
+        differs = any(
+            np.any(outputs[bus] != golden[bus]) for bus in golden
+        )
+        err_differs = bool(
+            differs and "ERR" in golden
+            and np.any(outputs["ERR"] != golden["ERR"]))
+        hits.append((differs, err_differs))
+    return hits
+
+
+def _compiled_fault_sweep(
+    netlist: Netlist, stimulus: Dict[str, np.ndarray], vectors: int,
+    fault_list: Sequence[Fault],
+) -> List[Tuple[bool, bool]]:
+    """(differs, ERR differs) per fault via one kernel with stuck-at forcing.
+
+    The whole campaign shares a single compiled kernel and a single packed
+    copy of the vectors; each fault is one forced replay plus a masked
+    word-level XOR (padding lanes beyond ``vectors`` are excluded — a
+    forced net can flip them even when every real vector agrees).
+    """
+    from repro.rtl.compile import compile_netlist, lane_mask, pack_operands
+
+    kernel = compile_netlist(netlist)
+    packed = {
+        bus: pack_operands(stimulus[bus], width)
+        for bus, width in netlist.input_buses.items()
+    }
+    golden = kernel.run_packed(packed)
+    nwords = next(iter(golden.values())).shape[1]
+    mask = lane_mask(vectors, nwords)
+
+    hits: List[Tuple[bool, bool]] = []
+    for fault in fault_list:
+        outputs = kernel.run_packed(packed,
+                                    force={fault.net: fault.stuck_at})
+        differs = any(
+            bool(np.any((outputs[bus] ^ golden[bus]) & mask))
+            for bus in golden
+        )
+        err_differs = bool(
+            differs and "ERR" in golden
+            and np.any((outputs["ERR"] ^ golden["ERR"]) & mask))
+        hits.append((differs, err_differs))
+    return hits

@@ -12,6 +12,7 @@ import re
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.rtl.gates import Gate, Op
 from repro.utils.validation import check_pos_int
 
@@ -42,6 +43,10 @@ class Netlist:
         #: diagnostics on parsed files can point back into the .v text.
         self.source_locations: Dict[str, Tuple[int, int]] = {}
         self._uid = 0
+        #: Memoised structure queries (topological order / levels), reset by
+        #: :meth:`add_gate` so construction-time mutation stays safe.
+        self._topo_cache: Optional[List[Gate]] = None
+        self._level_cache: Optional[List[List[Gate]]] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -68,6 +73,8 @@ class Netlist:
             raise ValueError(f"net {output!r} already driven")
         gate = Gate(output=output, op=op, inputs=tuple(inputs), group=group)
         self.gates[output] = gate
+        self._topo_cache = None
+        self._level_cache = None
         return output
 
     def add_input_bus(self, bus: str, width: int) -> List[str]:
@@ -142,24 +149,55 @@ class Netlist:
         ``self.gates`` is insertion order, which *is* topological; this
         method re-derives it with Kahn's algorithm as a structural sanity
         check (it raises if an invariant was somehow violated).
+
+        The derivation is memoised per mutation state (``add_gate`` resets
+        it), so per-call consumers like the simulator pay for Kahn's
+        algorithm once per netlist, not once per stimulus batch.  Callers
+        must treat the returned list as read-only.
         """
-        indegree: Dict[str, int] = {net: len(g.inputs) for net, g in self.gates.items()}
-        fanout: Dict[str, List[str]] = {net: [] for net in self.gates}
-        for net, gate in self.gates.items():
-            for src in gate.inputs:
-                fanout[src].append(net)
-        ready = deque(net for net, deg in indegree.items() if deg == 0)
-        order: List[Gate] = []
-        while ready:
-            net = ready.popleft()
-            order.append(self.gates[net])
-            for sink in fanout[net]:
-                indegree[sink] -= 1
-                if indegree[sink] == 0:
-                    ready.append(sink)
-        if len(order) != len(self.gates):
-            raise RuntimeError("netlist contains a cycle or undriven net")
-        return order
+        if self._topo_cache is None:
+            obs.count("rtl.netlist.topo_computed")
+            indegree: Dict[str, int] = {net: len(g.inputs)
+                                        for net, g in self.gates.items()}
+            fanout: Dict[str, List[str]] = {net: [] for net in self.gates}
+            for net, gate in self.gates.items():
+                for src in gate.inputs:
+                    fanout[src].append(net)
+            ready = deque(net for net, deg in indegree.items() if deg == 0)
+            order: List[Gate] = []
+            while ready:
+                net = ready.popleft()
+                order.append(self.gates[net])
+                for sink in fanout[net]:
+                    indegree[sink] -= 1
+                    if indegree[sink] == 0:
+                        ready.append(sink)
+            if len(order) != len(self.gates):
+                raise RuntimeError("netlist contains a cycle or undriven net")
+            self._topo_cache = order
+        return self._topo_cache
+
+    def topological_levels(self) -> List[List[Gate]]:
+        """Gates grouped by logic depth (level 0 = inputs and constants).
+
+        Gates within one level are mutually independent, so each level is
+        safe to evaluate as one straight-line block — the structure the
+        bit-sliced kernel compiler (:mod:`repro.rtl.compile`) emits code
+        from.  Memoised alongside :meth:`topological_order`; treat the
+        result as read-only.
+        """
+        if self._level_cache is None:
+            depth: Dict[str, int] = {}
+            levels: List[List[Gate]] = []
+            for gate in self.topological_order():
+                level = (0 if not gate.inputs
+                         else 1 + max(depth[net] for net in gate.inputs))
+                depth[gate.output] = level
+                while len(levels) <= level:
+                    levels.append([])
+                levels[level].append(gate)
+            self._level_cache = levels
+        return self._level_cache
 
     def fanout_counts(self) -> Dict[str, int]:
         """Number of gate inputs each net feeds (output-port uses excluded)."""

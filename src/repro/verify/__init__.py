@@ -1,8 +1,8 @@
 """Cross-layer conformance harness (``gear verify``).
 
-The repo models every adder at five layers — behavioural Python,
-gate-level netlist, emitted/re-parsed Verilog, analytic error models and
-the exact error-PMF backend.
+The repo models every adder at six layers — behavioural Python,
+gate-level netlist, emitted/re-parsed Verilog, analytic error models,
+the exact error-PMF backend and the compiled bit-sliced kernel.
 This package differentially verifies that all layers agree for every
 adder in the conformance registry, with exhaustive proofs where the input
 space permits and seeded sampling plus greedy counterexample shrinking
@@ -12,6 +12,7 @@ where it does not.  See ``docs/verify.md``.
 from repro.verify.oracles import (
     check_analytic,
     check_behavioural,
+    check_compiled,
     check_stats,
     check_vector,
     check_verilog,
@@ -47,6 +48,7 @@ __all__ = [
     "VerifyOptions",
     "check_analytic",
     "check_behavioural",
+    "check_compiled",
     "check_stats",
     "check_vector",
     "check_verilog",

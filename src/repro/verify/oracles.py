@@ -1,4 +1,4 @@
-"""The five differential layer checks.
+"""The six differential layer checks.
 
 Each oracle compares two independent descriptions of the same adder and
 returns a :class:`~repro.verify.report.LayerResult`:
@@ -8,6 +8,9 @@ returns a :class:`~repro.verify.report.LayerResult`:
   simulation,
 * :func:`check_verilog` — the netlist against its emitted-then-re-parsed
   Verilog via :mod:`repro.rtl.equivalence`,
+* :func:`check_compiled` — interpreted netlist simulation against the
+  compiled bit-sliced kernel (:mod:`repro.rtl.compile`), exact
+  bit-equality on every output bus,
 * :func:`check_stats` — measured error statistics (through
   :mod:`repro.engine`, so sharding/caching/parallelism apply) against the
   analytic ``error_probability()`` / ``mean_error_distance()`` /
@@ -35,6 +38,7 @@ import numpy as np
 
 from repro.adders.base import AdderModel, WindowedSpeculativeAdder
 from repro.metrics.confidence import wilson_interval
+from repro.rtl.compile import compile_netlist
 from repro.rtl.equivalence import check_equivalence
 from repro.rtl.netlist import Netlist
 from repro.rtl.sim import simulate_bus
@@ -153,6 +157,83 @@ def _shrink_behavioural(model: AdderModel, build: Optional[AdderFactory],
     return shrink_counterexample(a, b, model.width, fails_at,
                                  min_width=min_width,
                                  detail=f"netlist bus {bus}")
+
+
+def check_compiled(model: AdderModel, vectors: VectorSet,
+                   build: Optional[AdderFactory] = None,
+                   min_width: int = 1) -> LayerResult:
+    """Layer: interpreted netlist simulation vs the compiled bit-sliced kernel.
+
+    Exact bit-equality on *every* output bus between the gate-by-gate
+    interpreter (:func:`repro.rtl.sim.simulate_bus`) and the straight-line
+    word-level kernel (:mod:`repro.rtl.compile`) over the shared vector
+    set — exhaustive at the default verify width, so the kernel compiler
+    is proven, not sampled, for every registry family.
+    """
+    netlist = model.build_netlist()
+    if netlist is None:
+        return LayerResult("compiled", LayerStatus.SKIP,
+                           message="adder has no gate-level netlist model")
+    kernel = compile_netlist(netlist)
+    stimulus = {"A": vectors.a, "B": vectors.b}
+    outputs = kernel.run(stimulus)
+    index = None
+    bad_bus = ""
+    for bus in sorted(netlist.output_buses):
+        index = _first_mismatch(simulate_bus(netlist, stimulus, bus),
+                                outputs[bus])
+        if index is not None:
+            bad_bus = bus
+            break
+    if index is None:
+        return LayerResult(
+            "compiled", LayerStatus.PASS,
+            exhaustive=vectors.exhaustive, vectors=vectors.count,
+            details={"gates": kernel.gate_count, "levels": kernel.levels,
+                     "buses": sorted(netlist.output_buses)},
+        )
+
+    a0, b0 = int(vectors.a[index]), int(vectors.b[index])
+    cex = _shrink_compiled(model, build, a0, b0, bad_bus, min_width)
+    return LayerResult(
+        "compiled", LayerStatus.FAIL,
+        exhaustive=vectors.exhaustive, vectors=vectors.count,
+        message=("interpreted and compiled netlist simulation disagree "
+                 f"on bus {bad_bus!r}"),
+        counterexample=cex,
+        details={"bus": bad_bus},
+    )
+
+
+def _compiled_predicate(netlist: Netlist, bus: str):
+    kernel = compile_netlist(netlist)
+
+    def fails(a: int, b: int) -> bool:
+        stimulus = {"A": a, "B": b}
+        return (int(simulate_bus(netlist, stimulus, bus)[()])
+                != int(kernel.run(stimulus)[bus][()]))
+
+    return fails
+
+
+def _shrink_compiled(model: AdderModel, build: Optional[AdderFactory],
+                     a: int, b: int, bus: str,
+                     min_width: int) -> Counterexample:
+    def fails_at(width: int):
+        if width == model.width:
+            candidate = model
+        elif build is None:
+            return None
+        else:
+            candidate = build(width)
+        netlist = candidate.build_netlist()
+        if netlist is None or bus not in netlist.output_buses:
+            return None
+        return _compiled_predicate(netlist, bus)
+
+    return shrink_counterexample(a, b, model.width, fails_at,
+                                 min_width=min_width,
+                                 detail=f"compiled kernel bus {bus}")
 
 
 def check_verilog(model: AdderModel, build: Optional[AdderFactory] = None,

@@ -9,6 +9,8 @@ is fixed (:data:`LAYERS`):
 * ``stats``       — measured error statistics vs the analytic models,
 * ``analytic``    — the exact error-PMF backend vs exhaustive statistics
   (a proof at small widths; PMF invariants above the exhaustive cap),
+* ``compiled``    — interpreted netlist simulation vs the compiled
+  bit-sliced kernel, exact bit-equality on every output bus,
 * ``vector``      — scalar vs vectorised ``_add_impl`` code paths.
 
 A layer that does not apply to an adder (e.g. ``behavioural`` for a model
@@ -23,7 +25,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 #: Canonical layer names, in verification order.
-LAYERS = ("behavioural", "verilog", "stats", "analytic", "vector")
+LAYERS = ("behavioural", "verilog", "stats", "analytic", "compiled",
+          "vector")
 
 
 class LayerStatus(enum.Enum):

@@ -25,6 +25,7 @@ from repro.verify.oracles import (
     STATS_EXHAUSTIVE_WIDTH,
     check_analytic,
     check_behavioural,
+    check_compiled,
     check_stats,
     check_vector,
     check_verilog,
@@ -105,6 +106,10 @@ def verify_adder(entry: RegisteredAdder,
                     results.append(check_analytic(
                         model, engine=engine,
                         exhaustive_width_cap=options.analytic_exhaustive_cap))
+                elif layer == "compiled":
+                    results.append(check_compiled(
+                        model, vectors, build=entry,
+                        min_width=entry.min_width))
                 else:
                     results.append(check_vector(
                         model, vectors, build=entry,
