@@ -13,6 +13,8 @@ Commands mirror the paper's artefacts::
     gear spec list|show|lint  # the declarative AdderSpec catalog
     gear cache stats|clear    # shard-cache maintenance
     gear obs report t.jsonl   # re-summarize a saved telemetry trace
+    gear serve --workers 4    # always-on evaluation service (docs/serve.md)
+    gear client eval '{...}'  # query a running service
 
 Every stochastic subcommand takes ``--samples`` and ``--seed``; every
 subcommand that evaluates through :mod:`repro.engine` additionally takes
@@ -55,6 +57,10 @@ from repro.core.gear import GeArAdder, GeArConfig
 DEFAULT_SEED = 2015
 
 
+class CLIError(Exception):
+    """A user-input error: printed to stderr, exits 2."""
+
+
 def _package_version() -> str:
     """Installed distribution version, falling back to the source tree."""
     try:
@@ -83,9 +89,10 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                        "pruned first (this run's shards are never evicted)")
     group.add_argument("--no-cache", action="store_true",
                        help="disable the shard cache even if --cache is given")
-    group.add_argument("--backend",
-                       choices=["sampling", "analytic", "compiled", "auto"],
-                       default="sampling",
+    # Validated against the live registry in _dispatch (not argparse
+    # choices) so plug-in backends registered at import time are
+    # accepted and a typo reports the actual registered names.
+    group.add_argument("--backend", default="sampling", metavar="NAME",
                        help="evaluation backend: 'sampling' simulates, "
                        "'analytic' solves the exact error PMF, 'compiled' "
                        "samples through the bit-sliced netlist kernel, "
@@ -620,6 +627,95 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeDaemon
+
+    cache = None if args.no_cache else args.cache
+    cache_bytes = (None if args.cache_size is None
+                   else int(args.cache_size * (1 << 20)))
+    daemon = ServeDaemon(
+        host=args.host, port=args.port, workers=args.workers,
+        jobs=args.jobs, cache=cache, cache_bytes=cache_bytes,
+        drain_timeout=args.drain_timeout,
+        # The ready line goes out only after the socket is bound, so
+        # wrappers (CI, tests) can wait for it then read the real port.
+        ready=lambda d: print(
+            f"serving on http://{d.host}:{d.port} (workers={d.workers})",
+            flush=True),
+    )
+    return daemon.run()
+
+
+def _client_wire(args: argparse.Namespace) -> dict:
+    """Parse the request body argument (inline JSON or '-' for stdin)."""
+    text = sys.stdin.read() if args.body == "-" else args.body
+    try:
+        wire = json.loads(text or "{}")
+    except ValueError as exc:
+        raise CLIError(f"request body is not valid JSON: {exc}")
+    if not isinstance(wire, dict):
+        raise CLIError("request body must be a JSON object")
+    return wire
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient, ServeError, protocol, replay
+
+    command = args.client_command
+    if command == "eval" and args.offline:
+        # Local oracle: canonical bytes for the same wire body, for
+        # byte-identity checks against a served response.
+        try:
+            payload = protocol.offline_eval_payload(_client_wire(args))
+        except (protocol.ProtocolError, ValueError) as exc:
+            raise CLIError(str(exc))
+        sys.stdout.buffer.write(protocol.canonical_bytes(payload))
+        return 0
+
+    if command == "replay":
+        try:
+            script = json.loads(sys.stdin.read() if args.script == "-"
+                                else open(args.script).read())
+        except (OSError, ValueError) as exc:
+            raise CLIError(f"cannot load script: {exc}")
+        if not isinstance(script, list):
+            raise CLIError("replay script must be a JSON list of requests")
+        try:
+            summary = replay(script, host=args.host, port=args.port,
+                             concurrency=args.concurrency)
+        except (ValueError, ConnectionError, OSError) as exc:
+            raise CLIError(str(exc))
+        _print_json(summary)
+        return 0 if not summary["errors"] else 1
+
+    client = ServeClient(args.host, args.port)
+    try:
+        if command == "eval":
+            sys.stdout.buffer.write(client.eval_raw(_client_wire(args)))
+            return 0
+        if command == "verify":
+            payload = client.verify(_client_wire(args))
+            _print_json(payload)
+            return 0 if payload.get("ok") else 1
+        if command == "experiment":
+            _print_json(client.experiment(_client_wire(args)))
+            return 0
+        if command == "health":
+            payload = client.healthz()
+            _print_json(payload)
+            return 0 if payload.get("status") == "ok" else 1
+        _print_json(client.stats())  # stats
+        return 0
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        raise CLIError(f"cannot reach daemon at "
+                       f"http://{args.host}:{args.port}: {exc}")
+    finally:
+        client.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gear",
@@ -855,6 +951,83 @@ def build_parser() -> argparse.ArgumentParser:
                             help="machine-readable report")
     obs_report.set_defaults(func=_cmd_obs_report)
 
+    from repro.serve.daemon import DEFAULT_HOST, DEFAULT_PORT
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on evaluation service",
+        description="Serve /eval, /verify, /experiment, /healthz and "
+        "/stats over HTTP.  Concurrent identical requests coalesce onto "
+        "one computation; a persistent warm worker pool keeps compiled "
+        "kernels and resolved models memoised.  SIGTERM drains in-flight "
+        "requests and exits 0 (see docs/serve.md).",
+    )
+    serve.add_argument("--host", default=DEFAULT_HOST,
+                       help=f"bind address (default: {DEFAULT_HOST})")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"TCP port; 0 picks a free one "
+                       f"(default: {DEFAULT_PORT})")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="worker processes; 0 evaluates on an "
+                       "in-process thread (default: 0)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="max wait for in-flight requests on shutdown "
+                       "(default: 30)")
+    _add_engine_flags(serve)
+    serve.set_defaults(func=_cmd_serve, backend=None)
+
+    client = sub.add_parser(
+        "client",
+        help="talk to a running evaluation service",
+        description="Issue requests against 'gear serve'.  Bodies are "
+        "JSON (inline or '-' for stdin); 'eval' prints the daemon's raw "
+        "canonical bytes, and 'eval --offline' prints the same bytes "
+        "computed locally — cmp the two to check the byte-identity "
+        "guarantee.",
+    )
+    client_sub = client.add_subparsers(dest="client_command", required=True)
+
+    def _client_common(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--host", default=DEFAULT_HOST)
+        cmd.add_argument("--port", type=int, default=DEFAULT_PORT)
+        cmd.set_defaults(func=_cmd_client)
+
+    client_eval = client_sub.add_parser(
+        "eval", help="POST /eval and print the canonical response")
+    client_eval.add_argument("body", help="JSON wire body, or '-' for stdin")
+    client_eval.add_argument("--offline", action="store_true",
+                             help="evaluate locally instead (the oracle "
+                             "for byte-identity checks)")
+    _client_common(client_eval)
+    client_verify = client_sub.add_parser(
+        "verify", help="POST /verify (exit 1 when any layer disagrees)")
+    client_verify.add_argument("body", nargs="?", default="{}",
+                               help="JSON wire body (default: {})")
+    _client_common(client_verify)
+    client_experiment = client_sub.add_parser(
+        "experiment", help="POST /experiment")
+    client_experiment.add_argument("body",
+                                   help="JSON wire body, e.g. "
+                                   '\'{"name": "table3"}\'')
+    _client_common(client_experiment)
+    client_health = client_sub.add_parser("health", help="GET /healthz")
+    _client_common(client_health)
+    client_stats = client_sub.add_parser(
+        "stats", help="GET /stats (latency, coalescing, telemetry)")
+    _client_common(client_stats)
+    client_replay = client_sub.add_parser(
+        "replay", help="replay a JSON request script concurrently")
+    client_replay.add_argument("script",
+                               help="path to a JSON list of requests "
+                               "('-' for stdin); items are "
+                               '{"endpoint": ..., "body": {...}} or bare '
+                               "eval bodies")
+    client_replay.add_argument("--concurrency", type=int, default=8,
+                               metavar="N", help="client threads "
+                               "(default: 8)")
+    _client_common(client_replay)
+
     # --trace/--profile are accepted after any subcommand too (the
     # SUPPRESS defaults keep both positions from fighting over the dest).
     for subparser in set(sub.choices.values()):
@@ -862,9 +1035,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_backend(args: argparse.Namespace) -> None:
+    """Reject an unknown ``--backend`` before any work starts."""
+    name = getattr(args, "backend", None)
+    if name is None or name == "auto":
+        return
+    from repro.engine.backends import BACKENDS
+
+    if name not in BACKENDS:
+        registered = ", ".join(sorted(BACKENDS) + ["auto"])
+        raise CLIError(f"unknown backend {name!r}; registered backends: "
+                       f"{registered}")
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     try:
+        _validate_backend(args)
         return args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:  # e.g. `gear spectrum ... | head`
         try:
             sys.stdout.close()

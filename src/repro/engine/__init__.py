@@ -30,6 +30,7 @@ from repro.engine.api import (
     EvalResult,
     fingerprint_adder,
     fingerprint_distribution,
+    request_digest,
 )
 from repro.engine.backends import (
     BACKENDS,
@@ -69,6 +70,7 @@ __all__ = [
     "EvalResult",
     "fingerprint_adder",
     "fingerprint_distribution",
+    "request_digest",
     "DEFAULT_CACHE_DIR",
     "ShardCache",
     "Engine",

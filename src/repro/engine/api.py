@@ -141,8 +141,9 @@ class EvalRequest:
     # -- constructors -------------------------------------------------------
     #
     # The classmethods below are the supported way to build requests for
-    # the three modes; they replace the old ``Engine.monte_carlo()`` /
-    # ``Engine.exhaustive()`` convenience methods (now deprecated shims)
+    # the three modes; they replaced the old ``Engine.monte_carlo()`` /
+    # ``Engine.exhaustive()`` convenience methods (removed after their
+    # deprecation window — the engine raises TypeError pointing here)
     # so that request construction is independent of any engine instance.
 
     @classmethod
@@ -278,3 +279,23 @@ def key_digest(material: dict) -> str:
     return hashlib.sha256(
         json.dumps(material, sort_keys=True).encode()
     ).hexdigest()
+
+
+def request_digest(request: EvalRequest,
+                   backend: str = "sampling") -> Optional[str]:
+    """Full result identity of a request under a *resolved* backend.
+
+    Unlike the shard-level cache keys this folds the root seed in as
+    well, so two requests share a digest iff the engine is guaranteed to
+    merge them to the same :class:`EvalResult` statistics — the
+    coalescing key of the :mod:`repro.serve` daemon.  Returns None when
+    the request has no stable identity (``monte_carlo`` with a None seed
+    draws fresh OS entropy per evaluation, so nothing may be coalesced
+    or reused).
+    """
+    if request.mode == "monte_carlo" and request.seed is None:
+        return None
+    material = request_key_material(request, backend=backend)
+    if request.mode == "monte_carlo":
+        material["seed"] = int(request.seed)
+    return key_digest(material)

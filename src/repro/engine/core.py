@@ -26,9 +26,8 @@ from __future__ import annotations
 import contextlib
 import math
 import time
-import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -45,11 +44,6 @@ from repro.engine.planner import (
     plan_fixed,
     plan_monte_carlo,
 )
-from repro.metrics.error_metrics import ErrorStats
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.utils.distributions import OperandDistribution
-
 
 def _run_shard(mode: str, shard: Shard, adder, distribution,
                thresholds: Sequence[float],
@@ -286,38 +280,25 @@ class Engine:
             shard_timings=tuple(timings),
         )
 
-    # -- deprecated conveniences --------------------------------------------
+    # -- removed conveniences -----------------------------------------------
     #
-    # Request construction moved onto EvalRequest itself
-    # (EvalRequest.monte_carlo / .exhaustive / .fixed); these shims keep
-    # the old spelling working for two releases while warning.
+    # Request construction lives on EvalRequest itself
+    # (EvalRequest.monte_carlo / .exhaustive / .fixed).  The old engine
+    # methods spent their two deprecation releases as warning shims and
+    # are now hard errors with a pointer at the replacement, so stale
+    # callers fail loudly instead of silently building the wrong request.
 
-    def monte_carlo(self, adder, samples: int, seed: Optional[int] = 2015,
-                    distribution: Optional["OperandDistribution"] = None,
-                    maa_thresholds=None, chunk: Optional[int] = None) -> ErrorStats:
-        """Deprecated: build an :meth:`EvalRequest.monte_carlo` instead."""
-        warnings.warn(
-            "Engine.monte_carlo() is deprecated; build the request with "
-            "EvalRequest.monte_carlo(...) and call Engine.evaluate()",
-            DeprecationWarning, stacklevel=2)
-        kwargs = {} if maa_thresholds is None else {
-            "maa_thresholds": tuple(maa_thresholds)
-        }
-        return self.evaluate(EvalRequest.monte_carlo(
-            adder, samples, seed=seed, distribution=distribution,
-            chunk=chunk, **kwargs,
-        )).stats
+    def monte_carlo(self, *args, **kwargs):
+        raise TypeError(
+            "Engine.monte_carlo() was removed; build the request with "
+            "EvalRequest.monte_carlo(adder, samples, ...) and call "
+            "Engine.evaluate(request).stats")
 
-    def exhaustive(self, adder, maa_thresholds=None) -> ErrorStats:
-        """Deprecated: build an :meth:`EvalRequest.exhaustive` instead."""
-        warnings.warn(
-            "Engine.exhaustive() is deprecated; build the request with "
-            "EvalRequest.exhaustive(...) and call Engine.evaluate()",
-            DeprecationWarning, stacklevel=2)
-        kwargs = {} if maa_thresholds is None else {
-            "maa_thresholds": tuple(maa_thresholds)
-        }
-        return self.evaluate(EvalRequest.exhaustive(adder, **kwargs)).stats
+    def exhaustive(self, *args, **kwargs):
+        raise TypeError(
+            "Engine.exhaustive() was removed; build the request with "
+            "EvalRequest.exhaustive(adder, ...) and call "
+            "Engine.evaluate(request).stats")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cache = self.cache.root if self.cache else None

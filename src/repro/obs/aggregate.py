@@ -28,6 +28,7 @@ No wall-clock instants are ever stored — durations only.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Tuple
@@ -138,6 +139,30 @@ class HistogramState:
         counts = list(self.counts)
         counts[bucket] += 1
         return HistogramState(self.bounds, tuple(counts), self.total + value)
+
+    def quantile(self, q: float) -> float:
+        """Conservative ``q``-quantile estimate from the bucket counts.
+
+        Returns the *upper bound* of the bucket holding the q-th ranked
+        observation, so the estimate never understates the true value by
+        more than one bucket width.  The overflow bucket has no upper
+        bound and yields ``inf``; an empty histogram yields ``0.0``.
+        The serve daemon derives its per-endpoint p50/p99 latencies from
+        this, which keeps quantiles mergeable across worker frames (the
+        counts merge exactly; a stream of raw samples would not).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        n = self.count
+        if n == 0:
+            return 0.0
+        target = max(1, math.ceil(q * n))
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= target:
+                return self.bounds[i] if i < len(self.bounds) else math.inf
+        return math.inf  # pragma: no cover - counts always reach target
 
     def merge(self, other: "HistogramState") -> "HistogramState":
         if self.bounds != other.bounds:

@@ -1,0 +1,72 @@
+"""In-flight request coalescing.
+
+When several concurrent requests carry the same result identity (see
+:func:`repro.serve.protocol.eval_coalesce_key`), only the first reaches
+the worker pool; the rest await the same future and share its payload.
+This is the concurrent complement of the on-disk shard cache: the cache
+deduplicates work across *time* (a request repeated after completion is
+served from disk), the coalescer deduplicates across *space* (a request
+repeated while the first is still computing never reaches a worker).
+
+The coalescer is single-loop state — every method must be called from
+the daemon's event loop.  Failures propagate to every waiter: if the
+leader's computation raises, all coalesced followers see the same
+exception, and the key is released so a retry computes afresh.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """Map of in-flight result identities to their pending futures."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def inflight(self) -> int:
+        """Number of distinct computations currently in flight."""
+        return len(self._inflight)
+
+    async def run(self, key: Optional[str],
+                  compute: Callable[[], Awaitable[Any]]) -> Tuple[Any, bool]:
+        """Run ``compute`` once per concurrent ``key``.
+
+        Returns ``(payload, coalesced)`` where ``coalesced`` is True when
+        this call piggybacked on another request's in-flight computation.
+        A None key (a request with no stable identity) always computes.
+        """
+        if key is None:
+            self.misses += 1
+            return await compute(), False
+
+        pending = self._inflight.get(key)
+        if pending is not None:
+            self.hits += 1
+            # shield: cancelling one coalesced waiter must not tear down
+            # the computation other waiters (and the leader) share.
+            return await asyncio.shield(pending), True
+
+        self.misses += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            payload = await compute()
+        except BaseException as exc:
+            future.set_exception(exc)
+            # Mark retrieved so a follower-less failure does not log an
+            # "exception was never retrieved" warning at GC time.
+            future.exception()
+            raise
+        else:
+            future.set_result(payload)
+            return payload, False
+        finally:
+            self._inflight.pop(key, None)

@@ -1,0 +1,263 @@
+"""Wire protocol of the evaluation service.
+
+Every body on the wire is JSON; the daemon's canonical encoding
+(:func:`canonical_bytes` — two-space indent, sorted keys, trailing
+newline) matches the CLI's ``--json`` output byte for byte, so a served
+``/eval`` response can be ``cmp``-ed directly against the offline
+engine's JSON for the same request at any worker count.
+
+An ``/eval`` request names its adder by *reference* instead of shipping
+a model object:
+
+* ``{"adder": "gear_r2p2"}`` — a conformance-registry key at the
+  default width,
+* ``{"adder": {"family": "etaii", "width": 16}}`` — a registry key at
+  an explicit width,
+* ``{"adder": {"gear": [12, 4, 4]}}`` — an arbitrary GeAr(N, R, P)
+  configuration,
+* ``{"adder": {"spec": {...}}}`` — a full round-trippable
+  :class:`~repro.spec.ir.AdderSpec` document.
+
+The remaining fields mirror :class:`~repro.engine.api.EvalRequest`:
+``mode`` (``monte_carlo``/``exhaustive`` — ``fixed`` replays local
+arrays and has no wire form), ``samples``, ``seed``, ``backend`` and
+``thresholds``.  Resolution is memoised per process, so a warm worker
+answers repeat references without rebuilding models or recompiling
+kernels.
+
+Malformed or unsupported requests raise :class:`ProtocolError`, which
+the daemon maps to HTTP 400 with an ``{"error": ...}`` body.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine import api
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_WIDTH",
+    "ProtocolError",
+    "build_experiment",
+    "build_request",
+    "build_verify_options",
+    "canonical_bytes",
+    "eval_coalesce_key",
+    "offline_eval_payload",
+    "resolve_adder",
+    "wire_coalesce_key",
+]
+
+#: Version stamped into ``/healthz`` so clients can detect drift.
+PROTOCOL_VERSION = 1
+
+#: Adder width used when a reference does not name one.
+DEFAULT_WIDTH = 8
+
+#: Evaluation modes that have a wire form.
+WIRE_MODES = ("monte_carlo", "exhaustive")
+
+_EVAL_KEYS = {"adder", "mode", "samples", "seed", "backend", "thresholds"}
+_VERIFY_KEYS = {"adders", "width", "layers", "samples", "seed", "backend"}
+_EXPERIMENT_KEYS = {"name", "samples", "seed", "backend"}
+
+
+class ProtocolError(ValueError):
+    """A malformed or unsupported wire request (answered with HTTP 400)."""
+
+
+def canonical_bytes(payload: Any) -> bytes:
+    """The service's canonical JSON encoding of a response payload."""
+    return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+
+
+# -- adder references --------------------------------------------------------
+
+@functools.lru_cache(maxsize=512)
+def _family_adder(key: str, width: int):
+    from repro.verify.registry import registry_adder
+
+    return registry_adder(key, width)
+
+
+@functools.lru_cache(maxsize=512)
+def _gear_adder(n: int, r: int, p: int):
+    from repro.core.gear import GeArAdder, GeArConfig
+
+    strict = r > 0 and (n - r - p) % r == 0
+    return GeArAdder(GeArConfig(n, r, p, allow_partial=not strict))
+
+
+@functools.lru_cache(maxsize=512)
+def _spec_adder(document: str):
+    from repro.spec.ir import AdderSpec
+
+    return AdderSpec.from_dict(json.loads(document)).to_model()
+
+
+def resolve_adder(ref: Any):
+    """Build (memoised) the adder model named by a wire reference."""
+    try:
+        if isinstance(ref, str):
+            return _family_adder(ref, DEFAULT_WIDTH)
+        if isinstance(ref, dict):
+            if "family" in ref:
+                return _family_adder(str(ref["family"]),
+                                     int(ref.get("width", DEFAULT_WIDTH)))
+            if "gear" in ref:
+                n, r, p = (int(v) for v in ref["gear"])
+                return _gear_adder(n, r, p)
+            if "spec" in ref:
+                return _spec_adder(json.dumps(ref["spec"], sort_keys=True))
+    except ProtocolError:
+        raise
+    except (TypeError, KeyError, ValueError) as exc:
+        raise ProtocolError(f"bad adder reference {ref!r}: {exc}") from exc
+    raise ProtocolError(
+        f"bad adder reference {ref!r}: expected a registry key, "
+        "{'family': ..., 'width': ...}, {'gear': [n, r, p]} or "
+        "{'spec': {...}}")
+
+
+def _check_keys(wire: Dict, allowed: set, what: str) -> None:
+    if not isinstance(wire, dict):
+        raise ProtocolError(f"{what} body must be a JSON object, "
+                            f"got {type(wire).__name__}")
+    unknown = sorted(set(wire) - allowed)
+    if unknown:
+        raise ProtocolError(f"unknown {what} fields {unknown}; "
+                            f"expected a subset of {sorted(allowed)}")
+
+
+# -- /eval -------------------------------------------------------------------
+
+def build_request(wire: Dict) -> "api.EvalRequest":
+    """Turn an ``/eval`` wire body into an :class:`EvalRequest`."""
+    _check_keys(wire, _EVAL_KEYS, "eval")
+    if "adder" not in wire:
+        raise ProtocolError("eval body needs an 'adder' reference")
+    adder = resolve_adder(wire["adder"])
+    mode = str(wire.get("mode", "monte_carlo"))
+    if mode not in WIRE_MODES:
+        raise ProtocolError(f"unknown mode {mode!r}; the wire protocol "
+                            f"supports {WIRE_MODES}")
+    seed = wire.get("seed", 2015)
+    kwargs: Dict[str, Any] = {
+        "adder": adder,
+        "mode": mode,
+        "backend": str(wire.get("backend", "sampling")),
+    }
+    if "thresholds" in wire:
+        try:
+            kwargs["maa_thresholds"] = tuple(
+                float(t) for t in wire["thresholds"])
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad thresholds: {exc}") from exc
+    if mode == "monte_carlo":
+        kwargs["samples"] = int(wire.get("samples", 10_000))
+        kwargs["seed"] = None if seed is None else int(seed)
+    try:
+        return api.EvalRequest(**kwargs)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+def eval_coalesce_key(request: "api.EvalRequest") -> Optional[str]:
+    """In-flight identity of an eval request: ``(fingerprint, backend, plan)``.
+
+    The key is the engine's :func:`~repro.engine.api.request_digest`
+    under the *resolved* backend, so two wire bodies coalesce exactly
+    when the engine would compute identical statistics for both — and an
+    ``auto`` request coalesces with the explicit spelling of whichever
+    backend answers it.  None (an unseeded Monte-Carlo draw) disables
+    coalescing for the request.
+    """
+    from repro.engine.backends import resolve_backend
+
+    backend = resolve_backend(request)  # raises for unsupported requests
+    digest = api.request_digest(request, backend=backend.name)
+    return None if digest is None else f"eval:{digest}"
+
+
+def offline_eval_payload(wire: Dict, engine=None) -> Dict:
+    """Evaluate an ``/eval`` wire body locally — the daemon's oracle.
+
+    ``canonical_bytes(offline_eval_payload(wire))`` is byte-identical to
+    the daemon's response body for the same wire request at any
+    ``--workers`` value (the benchmark and the CI smoke job assert
+    exactly this).
+    """
+    from repro.engine import evaluate
+
+    return evaluate(build_request(wire), engine).to_json()
+
+
+# -- /verify -----------------------------------------------------------------
+
+def build_verify_options(wire: Dict) -> Tuple[Optional[List[str]], object]:
+    """Turn a ``/verify`` wire body into ``(adder keys, VerifyOptions)``."""
+    from repro.verify import LAYERS, VerifyOptions, default_registry
+
+    _check_keys(wire, _VERIFY_KEYS, "verify")
+    adders = wire.get("adders")
+    if adders is not None:
+        if (not isinstance(adders, list)
+                or not all(isinstance(a, str) for a in adders)):
+            raise ProtocolError("'adders' must be a list of registry keys")
+        registry = default_registry()
+        unknown = sorted(set(adders) - set(registry))
+        if unknown:
+            raise ProtocolError(f"unknown adders {unknown}; known: "
+                                f"{', '.join(sorted(registry))}")
+    try:
+        options = VerifyOptions(
+            width=int(wire.get("width", DEFAULT_WIDTH)),
+            layers=tuple(wire["layers"]) if "layers" in wire else LAYERS,
+            seed=int(wire.get("seed", 2015)),
+            samples=int(wire.get("samples", 50_000)),
+            backend=str(wire.get("backend", "sampling")),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(str(exc)) from exc
+    return adders, options
+
+
+# -- /experiment -------------------------------------------------------------
+
+def build_experiment(wire: Dict) -> Tuple[str, Dict]:
+    """Turn an ``/experiment`` wire body into ``(name, run kwargs)``."""
+    from repro.experiments import EXPERIMENTS
+
+    _check_keys(wire, _EXPERIMENT_KEYS, "experiment")
+    name = wire.get("name")
+    if name not in EXPERIMENTS:
+        raise ProtocolError(f"unknown experiment {name!r}; registered: "
+                            f"{', '.join(sorted(EXPERIMENTS))}")
+    kwargs: Dict[str, Any] = {}
+    if wire.get("samples") is not None:
+        kwargs["samples"] = int(wire["samples"])
+    if wire.get("seed") is not None:
+        kwargs["seed"] = int(wire["seed"])
+    if wire.get("backend") is not None:
+        kwargs["backend"] = str(wire["backend"])
+    return str(name), kwargs
+
+
+# -- generic coalescing ------------------------------------------------------
+
+def wire_coalesce_key(endpoint: str, wire: Dict) -> str:
+    """Coalescing key for endpoints keyed by their literal wire body.
+
+    ``/verify`` and ``/experiment`` runs are deterministic functions of
+    their normalized body, so the canonical-JSON digest is a sound
+    in-flight identity (two spellings of the same work that differ
+    textually simply coalesce separately — a missed optimisation, never
+    a wrong answer).
+    """
+    digest = hashlib.sha256(
+        json.dumps(wire, sort_keys=True).encode()).hexdigest()
+    return f"{endpoint}:{digest}"

@@ -32,7 +32,12 @@ from repro.verify.report import (
     LayerStatus,
     summarize,
 )
-from repro.verify.runner import VerifyOptions, verify_adder, verify_registry
+from repro.verify.runner import (
+    VerifyOptions,
+    verify_adder,
+    verify_payload,
+    verify_registry,
+)
 from repro.verify.shrink import shrink_counterexample, shrink_operands, shrink_width
 from repro.verify.vectors import VectorSet, operand_vectors
 
@@ -61,5 +66,6 @@ __all__ = [
     "shrink_width",
     "summarize",
     "verify_adder",
+    "verify_payload",
     "verify_registry",
 ]

@@ -145,3 +145,22 @@ def verify_registry(adders: Optional[Iterable[str]] = None,
             continue
         reports.append(verify_adder(entry, options=options, engine=engine))
     return reports
+
+
+def verify_payload(adders: Optional[Iterable[str]] = None,
+                   options: Optional[VerifyOptions] = None,
+                   engine=None) -> dict:
+    """JSON-safe conformance summary — the service-side verify runner.
+
+    The :mod:`repro.serve` daemon answers ``POST /verify`` with exactly
+    this document, so a served verify and ``gear verify --json`` derive
+    from the same reports.
+    """
+    options = options or VerifyOptions()
+    reports = verify_registry(adders, options=options, engine=engine)
+    return {
+        "ok": all(report.ok for report in reports),
+        "width": options.width,
+        "adders": [report.key for report in reports],
+        "reports": [report.to_json() for report in reports],
+    }

@@ -3,11 +3,9 @@
 Covers the registry contract, explicit and ``auto`` backend resolution,
 the analytic backend's exactness through the public ``evaluate`` path,
 cache-key disjointness between backends, determinism across worker
-counts, and the deprecation shims left behind by the request-constructor
-redesign.
+counts, and the removed legacy request spellings (which now raise a
+pointed TypeError).
 """
-
-import warnings
 
 import pytest
 
@@ -136,7 +134,7 @@ def test_warm_sampling_cache_not_served_to_analytic(adder, tmp_path):
 
 
 # ---------------------------------------------------------------------------
-# constructor classmethods and deprecation shims
+# constructor classmethods and removed legacy spellings
 # ---------------------------------------------------------------------------
 
 def test_classmethods_build_equivalent_requests(adder):
@@ -146,17 +144,13 @@ def test_classmethods_build_equivalent_requests(adder):
         adder=adder, mode="exhaustive")
 
 
-def test_engine_monte_carlo_shim_warns_and_delegates(adder):
+def test_engine_monte_carlo_removed(adder):
     engine = Engine(jobs=1)
-    with pytest.warns(DeprecationWarning, match="EvalRequest.monte_carlo"):
-        stats = engine.monte_carlo(adder, samples=1000, seed=3)
-    reference = engine.evaluate(
-        EvalRequest.monte_carlo(adder, 1000, seed=3)).stats
-    assert stats == reference
+    with pytest.raises(TypeError, match="EvalRequest.monte_carlo"):
+        engine.monte_carlo(adder, samples=1000, seed=3)
 
 
-def test_engine_exhaustive_shim_warns_and_delegates(adder):
+def test_engine_exhaustive_removed(adder):
     engine = Engine(jobs=1)
-    with pytest.warns(DeprecationWarning, match="EvalRequest.exhaustive"):
-        stats = engine.exhaustive(adder)
-    assert stats == engine.evaluate(EvalRequest.exhaustive(adder)).stats
+    with pytest.raises(TypeError, match="EvalRequest.exhaustive"):
+        engine.exhaustive(adder)

@@ -246,3 +246,65 @@ class TestLintCommand:
         out = capsys.readouterr().out
         assert "combinational-loop" in out
         assert "dead-logic" in out
+
+
+class TestBackendValidation:
+    """Unknown --backend names exit 2 with the registered list."""
+
+    def test_sweep_unknown_backend_exits_two(self, capsys):
+        assert main(["sweep", "8", "--samples", "100",
+                     "--backend", "typo"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'typo'" in err
+        for name in ("sampling", "analytic", "compiled", "auto"):
+            assert name in err
+
+    def test_verify_unknown_backend_exits_two(self, capsys):
+        assert main(["verify", "--adder", "rca", "--layer", "stats",
+                     "--backend", "nonesuch"]) == 2
+        assert "registered backends" in capsys.readouterr().err
+
+    def test_validation_happens_before_any_work(self, capsys):
+        # a bad backend on a heavy command must fail fast, not mid-sweep
+        assert main(["table3", "--backend", "bogus"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "bogus" in captured.err
+
+    def test_registered_backends_still_accepted(self, capsys):
+        assert main(["sweep", "8", "--samples", "50", "--backend",
+                     "analytic", "--json"]) == 0
+        assert capsys.readouterr().out.startswith("{")
+
+
+class TestClientCommand:
+    """gear client argument handling that needs no running daemon."""
+
+    def test_client_eval_offline_prints_canonical_bytes(self, capsys):
+        from repro.serve import protocol
+
+        wire = {"adder": "gear_r2p2", "samples": 200, "seed": 6}
+        import json as _json
+
+        assert main(["client", "eval", _json.dumps(wire), "--offline"]) == 0
+        out = capsys.readouterr().out
+        expected = protocol.canonical_bytes(
+            protocol.offline_eval_payload(wire)).decode()
+        assert out == expected
+
+    def test_client_eval_offline_bad_body_exits_two(self, capsys):
+        assert main(["client", "eval", "not json", "--offline"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_client_eval_offline_bad_adder_exits_two(self, capsys):
+        assert main(["client", "eval", '{"adder": "nope"}',
+                     "--offline"]) == 2
+        assert "bad adder reference" in capsys.readouterr().err
+
+    def test_client_unreachable_daemon_exits_two(self, capsys):
+        assert main(["client", "health", "--port", "1"]) == 2
+        assert "cannot reach daemon" in capsys.readouterr().err
+
+    def test_replay_missing_script_exits_two(self, capsys):
+        assert main(["client", "replay", "/no/such/script.json"]) == 2
+        assert "cannot load script" in capsys.readouterr().err

@@ -1,0 +1,152 @@
+"""Tests for in-flight request coalescing (repro.serve.coalesce).
+
+Covers the leader/follower contract (one computation per concurrent
+key, shared payload, hit/miss accounting), key release after completion
+and after failure, error propagation to every waiter, None-key bypass,
+and cancellation of a follower leaving the shared computation alive.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalesce import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_distinct_keys_compute_independently():
+    async def scenario():
+        coalescer = Coalescer()
+        calls = []
+
+        async def compute(tag):
+            calls.append(tag)
+            return tag
+
+        r1, c1 = await coalescer.run("a", lambda: compute("a"))
+        r2, c2 = await coalescer.run("b", lambda: compute("b"))
+        assert (r1, r2) == ("a", "b")
+        assert not c1 and not c2
+        assert calls == ["a", "b"]
+        assert coalescer.hits == 0
+        assert coalescer.misses == 2
+
+    run(scenario())
+
+
+def test_concurrent_same_key_runs_once():
+    async def scenario():
+        coalescer = Coalescer()
+        calls = 0
+        gate = asyncio.Event()
+
+        async def compute():
+            nonlocal calls
+            calls += 1
+            await gate.wait()
+            return "payload"
+
+        tasks = [asyncio.ensure_future(coalescer.run("k", compute))
+                 for _ in range(8)]
+        await asyncio.sleep(0)  # let every waiter reach the coalescer
+        assert coalescer.inflight == 1
+        gate.set()
+        results = await asyncio.gather(*tasks)
+        assert calls == 1
+        assert all(payload == "payload" for payload, _ in results)
+        assert sum(1 for _, coalesced in results if coalesced) == 7
+        assert coalescer.hits == 7
+        assert coalescer.misses == 1
+        assert coalescer.inflight == 0
+
+    run(scenario())
+
+
+def test_sequential_same_key_recomputes():
+    """Coalescing is in-flight only — completion releases the key."""
+    async def scenario():
+        coalescer = Coalescer()
+        calls = 0
+
+        async def compute():
+            nonlocal calls
+            calls += 1
+            return calls
+
+        first, _ = await coalescer.run("k", compute)
+        second, coalesced = await coalescer.run("k", compute)
+        assert (first, second) == (1, 2)
+        assert not coalesced
+
+    run(scenario())
+
+
+def test_none_key_always_computes():
+    async def scenario():
+        coalescer = Coalescer()
+        calls = 0
+
+        async def compute():
+            nonlocal calls
+            calls += 1
+            return calls
+
+        await asyncio.gather(coalescer.run(None, compute),
+                             coalescer.run(None, compute))
+        assert calls == 2
+        assert coalescer.hits == 0
+
+    run(scenario())
+
+
+def test_failure_propagates_to_every_waiter_and_releases_key():
+    async def scenario():
+        coalescer = Coalescer()
+        gate = asyncio.Event()
+
+        async def boom():
+            await gate.wait()
+            raise RuntimeError("worker crashed")
+
+        tasks = [asyncio.ensure_future(coalescer.run("k", boom))
+                 for _ in range(3)]
+        await asyncio.sleep(0)
+        gate.set()
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert coalescer.inflight == 0
+
+        # a retry after the failure computes afresh
+        async def ok():
+            return "recovered"
+
+        payload, coalesced = await coalescer.run("k", ok)
+        assert payload == "recovered" and not coalesced
+
+    run(scenario())
+
+
+def test_cancelled_follower_does_not_kill_the_computation():
+    async def scenario():
+        coalescer = Coalescer()
+        gate = asyncio.Event()
+
+        async def compute():
+            await gate.wait()
+            return "done"
+
+        leader = asyncio.ensure_future(coalescer.run("k", compute))
+        await asyncio.sleep(0)
+        follower = asyncio.ensure_future(coalescer.run("k", compute))
+        await asyncio.sleep(0)
+        follower.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await follower
+        gate.set()
+        payload, coalesced = await leader
+        assert payload == "done" and not coalesced
+
+    run(scenario())

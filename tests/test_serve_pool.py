@@ -1,0 +1,189 @@
+"""Tests for the warm worker pool and cross-process telemetry merging.
+
+The serve daemon absorbs one TelemetryFrame per request, shipped back
+from whichever worker ran it (a thread for workers=0, a separate
+process otherwise).  These tests pin the contract that makes /stats
+trustworthy: worker frames survive the process boundary as dicts and
+round-trip through ``TelemetryFrame.from_dict``, the daemon aggregate
+absorbs them without touching the global collector, and — because
+frames form a commutative monoid — the aggregate is independent of the
+interleaving in which concurrent requests complete.  Quantiles over the
+merged histograms (the /stats p50/p99 source) are covered last.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.obs.aggregate import (
+    DURATION_BOUNDS,
+    HistogramState,
+    TelemetryFrame,
+    merge_frames,
+)
+from repro.serve.pool import WorkerPool, run_endpoint
+
+EVAL_WIRE = {"adder": "gear_r2p2", "samples": 500, "seed": 3}
+
+
+# ---------------------------------------------------------------------------
+# run_endpoint: one request, one frame
+# ---------------------------------------------------------------------------
+
+def test_run_endpoint_returns_payload_and_frame():
+    payload, frame_dict = run_endpoint("eval", EVAL_WIRE)
+    assert payload["samples"] == 500
+    frame = TelemetryFrame.from_dict(frame_dict)
+    assert frame.counters.get("engine.requests") == 1
+    assert any(path.startswith("serve.worker.eval") for path in frame.spans)
+
+
+def test_run_endpoint_leaves_global_collector_untouched():
+    with obs.collecting() as collector:
+        run_endpoint("eval", EVAL_WIRE)
+        outer = collector.snapshot()
+    # the worker recorded into its private collector, not the global one
+    assert "engine.requests" not in outer.counters
+
+
+def test_run_endpoint_frames_are_per_request():
+    _, frame_a = run_endpoint("eval", EVAL_WIRE)
+    _, frame_b = run_endpoint("eval", dict(EVAL_WIRE, samples=700))
+    assert TelemetryFrame.from_dict(frame_a).counters["engine.requests"] == 1
+    assert TelemetryFrame.from_dict(frame_b).counters["engine.requests"] == 1
+
+
+# ---------------------------------------------------------------------------
+# WorkerPool: frames cross the execution boundary
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("workers", [0, 1])
+def test_pool_ships_frames_across_boundary(workers):
+    pool = WorkerPool(workers=workers)
+    try:
+        payload, frame_dict = pool.submit("eval", EVAL_WIRE).result(timeout=60)
+    finally:
+        pool.shutdown()
+    assert payload["samples"] == 500
+    frame = TelemetryFrame.from_dict(frame_dict)
+    assert frame.counters["engine.requests"] == 1
+
+
+def test_pool_process_results_match_thread_results():
+    thread_pool = WorkerPool(workers=0)
+    process_pool = WorkerPool(workers=1)
+    try:
+        thread_payload, _ = thread_pool.submit("eval", EVAL_WIRE).result(60)
+        process_payload, _ = process_pool.submit("eval", EVAL_WIRE).result(60)
+    finally:
+        thread_pool.shutdown()
+        process_pool.shutdown()
+    assert thread_payload == process_payload
+
+
+def test_absorbed_pool_frames_accumulate_in_aggregate():
+    pool = WorkerPool(workers=0)
+    aggregate = obs.Collector()
+    try:
+        for i in range(3):
+            _, frame_dict = pool.submit(
+                "eval", dict(EVAL_WIRE, seed=i)).result(60)
+            aggregate.absorb(TelemetryFrame.from_dict(frame_dict))
+    finally:
+        pool.shutdown()
+    assert aggregate.snapshot().counters["engine.requests"] == 3
+
+
+# ---------------------------------------------------------------------------
+# merge commutativity under concurrent interleavings
+# ---------------------------------------------------------------------------
+
+def _request_frames(count=6):
+    pool = WorkerPool(workers=0)
+    try:
+        frames = []
+        for i in range(count):
+            endpoint = "verify" if i % 3 == 2 else "eval"
+            wire = ({"adders": ["gear_r2p2"], "layers": ["behavioural"],
+                     "width": 6} if endpoint == "verify"
+                    else dict(EVAL_WIRE, seed=i))
+            _, frame_dict = pool.submit(endpoint, wire).result(60)
+            frames.append(TelemetryFrame.from_dict(frame_dict))
+        return frames
+    finally:
+        pool.shutdown()
+
+
+def test_frame_merge_is_order_independent():
+    """Any completion interleaving yields the same /stats aggregate."""
+    frames = _request_frames()
+    reference = merge_frames(frames).to_dict()
+    rng = random.Random(2015)
+    for _ in range(5):
+        shuffled = list(frames)
+        rng.shuffle(shuffled)
+        assert merge_frames(shuffled).to_dict() == reference
+
+
+def test_absorb_matches_merge_frames():
+    frames = _request_frames(4)
+    collector = obs.Collector()
+    for frame in reversed(frames):
+        collector.absorb(frame)
+    assert (collector.snapshot().to_dict()
+            == merge_frames(frames).to_dict())
+
+
+def test_interleaved_absorption_from_concurrent_pools():
+    """Two collectors absorbing disjoint halves merge to the same total."""
+    frames = _request_frames(6)
+    left, right = obs.Collector(), obs.Collector()
+    for i, frame in enumerate(frames):
+        (left if i % 2 else right).absorb(frame)
+    combined = left.snapshot().merge(right.snapshot())
+    assert combined.to_dict() == merge_frames(frames).to_dict()
+
+
+# ---------------------------------------------------------------------------
+# histogram quantiles (the /stats p50/p99 source)
+# ---------------------------------------------------------------------------
+
+def _hist(values, bounds=DURATION_BOUNDS):
+    state = HistogramState.zero(bounds)
+    for value in values:
+        state = state.observe(value)
+    return state
+
+
+def test_quantile_bounds_and_edges():
+    hist = _hist([0.0005] * 50 + [0.3] * 50)
+    # p50 falls in the bucket containing the 50th sample
+    assert hist.quantile(0.5) >= 0.0005
+    assert hist.quantile(0.0) > 0
+    assert hist.quantile(1.0) >= 0.3
+
+
+def test_quantile_empty_histogram_is_zero():
+    assert HistogramState.zero(DURATION_BOUNDS).quantile(0.5) == 0.0
+
+
+def test_quantile_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        _hist([0.1]).quantile(1.5)
+
+
+def test_quantile_is_conservative_upper_bound():
+    values = [0.001, 0.002, 0.004, 0.008, 0.2]
+    hist = _hist(values)
+    for q, value in [(0.2, 0.001), (0.6, 0.004), (1.0, 0.2)]:
+        assert hist.quantile(q) >= value
+
+
+def test_quantile_stable_under_merge_order():
+    a = _hist([0.001] * 30)
+    b = _hist([0.05] * 10)
+    c = _hist([0.4] * 10)
+    assert (a.merge(b).merge(c).quantile(0.99)
+            == c.merge(a.merge(b)).quantile(0.99))
+    assert a.merge(b).merge(c).count == 50
