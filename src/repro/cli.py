@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -436,7 +437,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
     if args.list_adders:
         for key, entry in default_registry().items():
-            print(f"{key:14s} {entry.description}")
+            print(f"{key:14s} {entry.kind:18s} {entry.description}")
         return 0
 
     try:
@@ -476,13 +477,17 @@ def _cmd_spec(args: argparse.Namespace) -> int:
             for key, family in SPEC_CATALOG.items():
                 width = max(args.width, family.min_width)
                 try:
-                    fingerprint = family(width).fingerprint()
+                    spec = family(width)
+                    fingerprint = spec.fingerprint()
+                    kind = spec.stage_tag()
                 except ValueError:
                     # Family undefined at this width (e.g. parity rules).
                     width = fingerprint = None
+                    kind = family(family.min_width).stage_tag()
                 payload.append({
                     "key": key,
                     "description": family.description,
+                    "kind": kind,
                     "min_width": family.min_width,
                     "width": width,
                     "fingerprint": fingerprint,
@@ -490,7 +495,9 @@ def _cmd_spec(args: argparse.Namespace) -> int:
             _print_json(payload)
             return 0
         for key, family in SPEC_CATALOG.items():
-            print(f"{key:14s} w>={family.min_width:<3d} {family.description}")
+            kind = family(family.min_width).stage_tag()
+            print(f"{key:14s} {kind:18s} w>={family.min_width:<3d} "
+                  f"{family.description}")
         return 0
 
     if args.spec_command == "show":
@@ -507,10 +514,22 @@ def _cmd_spec(args: argparse.Namespace) -> int:
         if spec.truncation:
             print(f"truncated OR part: S[{spec.truncation - 1}:0] = A | B")
         print("windows (low..high -> result bits):")
+        rectified = set(spec.rectified_windows())
         for i, w in enumerate(spec.windows, start=1):
+            if w.is_static:
+                print(f"  window {i}: [{w.high}:{w.low}] -> "
+                      f"S[{w.result_high}:{w.result_low}] (static, "
+                      f"approx={w.approx})")
+                continue
             tag = w.arch if w.pred == "fused" else f"{w.arch}+{w.pred}"
+            rect = ", rectified" if i - 1 in rectified else ""
             print(f"  window {i}: [{w.high}:{w.low}] -> "
-                  f"S[{w.result_high}:{w.result_low}] ({tag}, P={w.prediction_bits})")
+                  f"S[{w.result_high}:{w.result_low}] ({tag}, "
+                  f"P={w.prediction_bits}{rect})")
+        if spec.rectify is not None:
+            taps = ", ".join(str(i + 1) for i in spec.rectified_windows())
+            print(f"rectify ({spec.rectify.kind}): flags of windows "
+                  f"[{taps}] added back into the sum")
         terms = spec.to_error_terms()
         ep = terms.error_probability()
         if ep is not None:
@@ -518,29 +537,53 @@ def _cmd_spec(args: argparse.Namespace) -> int:
         print(f"max error distance          : {terms.max_error_distance()}")
         return 0
 
-    # spec lint: compile each family's netlist and run the lint rules.
+    # spec lint: compile each target's netlist and run the lint rules.
+    # Targets are catalog families ('all' for every one) or paths to spec
+    # JSON documents; malformed documents (unknown kind/approx/rectify
+    # values included) get a `path: message` diagnostic, not a traceback.
     from repro.rtl.lint import Severity, lint_netlist
 
+    specs = []
     if args.key == "all":
-        keys = list(SPEC_CATALOG)
+        for key in SPEC_CATALOG:
+            family = SPEC_CATALOG[key]
+            width = max(args.width, family.min_width)
+            try:
+                specs.append((f"{key} w={width}", family(width)))
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
     elif args.key in SPEC_CATALOG:
-        keys = [args.key]
-    else:
-        print(f"error: unknown spec family {args.key!r}; known: "
-              f"{', '.join(sorted(SPEC_CATALOG))}", file=sys.stderr)
-        return 2
-
-    failed = False
-    for key in keys:
-        family = SPEC_CATALOG[key]
+        family = SPEC_CATALOG[args.key]
         width = max(args.width, family.min_width)
         try:
-            spec = family(width)
+            specs.append((f"{args.key} w={width}", family(width)))
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    elif args.key.endswith(".json") or os.path.sep in args.key \
+            or os.path.exists(args.key):
+        from repro.spec.ir import AdderSpec
+
+        try:
+            with open(args.key, "r", encoding="utf-8") as handle:
+                spec = AdderSpec.from_json(handle.read())
+        except OSError as exc:
+            print(f"{args.key}: error: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"{args.key}: error: {exc}", file=sys.stderr)
+            return 2
+        specs.append((f"{args.key} ({spec.name})", spec))
+    else:
+        print(f"error: unknown spec family {args.key!r} (and no such "
+              f"file); known: {', '.join(sorted(SPEC_CATALOG))}",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    for label, spec in specs:
         report = lint_netlist(spec.to_netlist())
-        label = f"{key} w={width}"
         lines = report.format_text().splitlines()
         lines[0] = f"{label}: {lines[0].split(': ', 1)[1]}"
         print("\n".join(lines))
@@ -874,7 +917,8 @@ def build_parser() -> argparse.ArgumentParser:
     spec_lint = spec_sub.add_parser(
         "lint", help="compile each spec to a netlist and lint it")
     spec_lint.add_argument("key", nargs="?", default="all",
-                           help="catalog key (default: the whole catalog)")
+                           help="catalog key, or a path to a spec JSON "
+                           "document (default: the whole catalog)")
     spec_lint.add_argument("--width", type=int, default=8, metavar="N")
     spec_lint.set_defaults(func=_cmd_spec)
 

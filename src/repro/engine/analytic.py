@@ -35,6 +35,23 @@ bit once and yields the exact distribution:
   truncation misses with threshold 1 and wraps with threshold
   ``length + 1`` because its local carry-in is the generate of bit
   ``truncation - 1``;
+* a ``hoeraa`` static low part is the OR rule with the top static bit
+  computed as a half-adder sum: on that bit's generate branch the
+  output loses ``2**(t-1)`` *more* than the OR rule, so its generate
+  delta doubles to ``-2**t`` (which the ``+2**t`` carry correction then
+  cancels exactly — HOERAA's static error is confined to the bits below
+  the boundary);
+* a *rectified* window (IR v2 ``rectify`` stage) adds its §3.3 flag back
+  at ``result_low``, repairing exactly the misses its flag observes: the
+  flag is ``AND(prediction propagates) & previous local carry-out``, so
+  the window's residual miss condition tightens from ``run >=
+  prediction_bits`` to ``run >= result_low - previous.low`` — the full
+  span whose propagation defeats the previous window's local carry-out
+  too.  That threshold equals the previous window's wrap threshold, so
+  for interior windows the wrap/miss pair fuses into a no-op (the wrap
+  is always re-missed in full) and for the first speculative window the
+  event is unreachable: a fully rectified ``error_detect`` spec is
+  provably exact;
 * the last window emits nothing at the top: its wrap (``+2**N``) and the
   flipped carry-out bit (``-2**N``) occur under the identical condition
   and cancel exactly;
@@ -82,8 +99,9 @@ __all__ = [
 ]
 
 #: Version of the analytic formulation; folded into cache keys so stored
-#: PMFs are invalidated whenever the DP changes.
-ANALYTIC_VERSION = 1
+#: PMFs are invalidated whenever the DP changes.  2: static-approximation
+#: kinds (HOERAA) and rectified windows joined the formulation.
+ANALYTIC_VERSION = 2
 
 #: Hard cap on the tracked error-support size.  Real block-based layouts
 #: stay far below this (support is bounded by the realisable subset sums
@@ -202,13 +220,19 @@ class ErrorPMF:
         )
 
 
-def analytic_layout(adder) -> Optional[Tuple[int, Tuple[object, ...], int]]:
-    """Extract ``(width, windows, truncation)`` from a block-based adder.
+def analytic_layout(
+    adder,
+) -> Optional[Tuple[int, Tuple[object, ...], int, Optional[str],
+                    Tuple[int, ...]]]:
+    """Extract ``(width, windows, truncation, static_kind, rectified)``.
 
-    Returns ``None`` when the adder's arithmetic is not fully described
-    by a window layout — i.e. when it overrides ``_add_impl`` without
-    exposing an :class:`~repro.spec.ir.AdderSpec` (ETAI's segment OR,
-    the standalone LOA class, or any custom model).
+    ``static_kind`` names the fixed low part's gate rule (``or`` /
+    ``hoeraa``; ``None`` when ``truncation`` is 0) and ``rectified`` the
+    indices of the windows whose flags are added back by a rectify stage
+    (empty for none).  Returns ``None`` when the adder's arithmetic is
+    not fully described by a window layout — i.e. when it overrides
+    ``_add_impl`` without exposing an :class:`~repro.spec.ir.AdderSpec`
+    (ETAI's segment OR, the standalone LOA class, or any custom model).
 
     Adders are immutable, so the answer is memoised on the instance —
     backend dispatch asks once to route the request and once to solve it.
@@ -219,20 +243,34 @@ def analytic_layout(adder) -> Optional[Tuple[int, Tuple[object, ...], int]]:
 
     from repro.adders.base import WindowedSpeculativeAdder
     from repro.spec.ir import AdderSpec
+    from repro.spec.model import RectifiedSpecAdder
 
     layout = None
     if getattr(adder, "is_exact", False):
-        layout = (adder.width, (), 0)
+        layout = (adder.width, (), 0, None, ())
     else:
         spec = getattr(adder, "spec", None)
         if isinstance(spec, AdderSpec):
             if spec.is_exact:
-                layout = (spec.width, (), 0)
+                layout = (spec.width, (), 0, None, ())
             else:
-                layout = (spec.width, spec.to_windows(), spec.truncation)
+                static = spec.static_window
+                if static is not None:
+                    layout = (spec.width, spec.to_windows()[1:],
+                              static.length, static.approx, ())
+                else:
+                    layout = (spec.width, spec.to_windows(),
+                              spec.truncation,
+                              "or" if spec.truncation else None,
+                              spec.rectified_windows())
+                # A model that overrides _add_impl beyond what the spec
+                # declares (subclasses of the spec models) is not covered.
+                if not isinstance(adder, RectifiedSpecAdder) \
+                        and spec.rectify is not None:
+                    layout = None
         elif (isinstance(adder, WindowedSpeculativeAdder)
                 and type(adder)._add_impl is WindowedSpeculativeAdder._add_impl):
-            layout = (adder.width, tuple(adder.windows), 0)
+            layout = (adder.width, tuple(adder.windows), 0, None, ())
     try:
         adder._analytic_layout = (layout,)
     except (AttributeError, TypeError):  # slotted/frozen foreign models
@@ -257,6 +295,7 @@ def bit_probability_profile(distribution, width: int,
 
 def _emission_schedule(
     windows: Sequence[object], truncation: int,
+    rectified: Tuple[int, ...] = (),
 ) -> Dict[int, Tuple[Tuple[int, int], ...]]:
     """Map ``bit -> ((run_threshold, error_delta), ...)``.
 
@@ -266,6 +305,7 @@ def _emission_schedule(
     alone.
     """
     schedule: Dict[int, List[Tuple[int, int]]] = {}
+    rect = set(rectified)
 
     def put(bit: int, threshold: int, delta: int) -> None:
         schedule.setdefault(bit, []).append((threshold, delta))
@@ -289,7 +329,15 @@ def _emission_schedule(
             miss_threshold = 1
             wrap_threshold = window.length + 1
         else:
-            miss_threshold = window.prediction_bits
+            if idx in rect:
+                # Rectification repairs exactly the misses the window's
+                # flag sees, so only misses *invisible* to the flag
+                # survive: those where the previous window's local
+                # carry-out is 0 too, i.e. the propagate run reaches all
+                # the way down past the previous window's low bit.
+                miss_threshold = window.result_low - windows[idx - 1].low
+            else:
+                miss_threshold = window.prediction_bits
             wrap_threshold = window.length
         put(window.result_low - 1, miss_threshold, -(1 << window.result_low))
         if idx != last:
@@ -377,6 +425,8 @@ def error_pmf(
     truncation: int = 0,
     bit_one: Optional[Sequence[float]] = None,
     max_support: int = MAX_SUPPORT,
+    static_kind: Optional[str] = None,
+    rectified: Sequence[int] = (),
 ) -> ErrorPMF:
     """Exact signed error PMF of a window layout.
 
@@ -385,16 +435,28 @@ def error_pmf(
         windows: window layout (``WindowSpec`` or ``SpeculativeWindow``
             objects — anything exposing low/high/result_low/result_high/
             length/prediction_bits).
-        truncation: OR-truncated low bits (LOA-style), 0 for none.
+        truncation: fixed-approximation low bits (LOA-style), 0 for none.
         bit_one: per-bit probability that an operand bit is one (the
             same profile applies to both operands, bits independent).
             ``None`` means uniform (0.5 everywhere).
         max_support: raise :class:`AnalyticUnsupported` if the tracked
             error support would exceed this many values.
+        static_kind: gate rule of the fixed low part — ``"or"`` (LOA,
+            the default when ``truncation`` is set) or ``"hoeraa"``.
+        rectified: indices into ``windows`` whose §3.3 flags a rectify
+            stage adds back into the sum (incompatible with truncation,
+            mirroring the IR's validation).
     """
     profile = _normalize_profile(width, bit_one)
+    rect = tuple(int(i) for i in rectified)
+    if truncation == 0:
+        static_kind = None
+    elif static_kind is None:
+        static_kind = "or"
+    if rect and truncation:
+        raise ValueError("rectified windows require a truncation-free layout")
     plan = _compile_plan(width, tuple(windows), truncation, profile,
-                         max_support)
+                         max_support, static_kind, rect)
     return _execute_plan(width, plan)
 
 
@@ -404,6 +466,8 @@ def _compile_plan(
     truncation: int,
     bit_one: Tuple[float, ...],
     max_support: int,
+    static_kind: Optional[str] = None,
+    rectified: Tuple[int, ...] = (),
 ) -> Tuple[Tuple[int, ...], Tuple[Tuple, ...], int, int]:
     """Symbolic pass: plan a layout's DP as ``(errors, ops, cap, n_states)``.
 
@@ -411,7 +475,7 @@ def _compile_plan(
     mass, so callers may compile once and replay many times (see
     :func:`adder_error_pmf`).
     """
-    schedule = _emission_schedule(windows, truncation)
+    schedule = _emission_schedule(windows, truncation, rectified)
     if not schedule and truncation == 0:
         return ((0,), (), 1, 4)
 
@@ -476,11 +540,17 @@ def _compile_plan(
                 advance_gap(pos, bit)
             # Generate under the truncation: the OR'd result bit stays at
             # one while the exact sum bit drops to zero, costing 2**bit.
-            # Distinct errors shift to distinct errors, so the target
-            # rows are unique and a direct indexed add is safe.
+            # HOERAA's top static bit is a half-adder sum instead of an
+            # OR, so its generate branch additionally drops the bit
+            # itself — the loss doubles to 2**(bit+1).  Distinct errors
+            # shift to distinct errors, so the target rows are unique and
+            # a direct indexed add is safe.
+            delta = 1 << bit
+            if static_kind == "hoeraa" and bit == truncation - 1:
+                delta = 1 << (bit + 1)
             alpha = bit_one[bit]
             n0 = len(errors)
-            dst = [row(errors[r] - (1 << bit)) for r in range(n0)]
+            dst = [row(errors[r] - delta) for r in range(n0)]
             ops.append(("tbit", matrix(alpha, 1, with_generate=False), n0,
                         np.asarray(dst, dtype=np.intp), alpha * alpha))
             for r in range(n0):
@@ -606,7 +676,7 @@ def adder_error_pmf(
             f"adder {getattr(adder, 'name', adder)!r} is not a pure "
             "block-based windowed adder; its arithmetic cannot be derived "
             "from a window layout")
-    width, windows, truncation = layout
+    width, windows, truncation, static_kind, rectified = layout
     profile = _normalize_profile(width, bit_one)
     plans = getattr(adder, "_analytic_plans", None)
     if plans is None:
@@ -619,6 +689,6 @@ def adder_error_pmf(
     plan = plans.get(key)
     if plan is None:
         plan = _compile_plan(width, tuple(windows), truncation, profile,
-                             max_support)
+                             max_support, static_kind, rectified)
         plans[key] = plan
     return _execute_plan(width, plan)

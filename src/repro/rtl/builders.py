@@ -360,22 +360,30 @@ def build_spec(spec: "AdderSpec") -> Netlist:  # noqa: F821
       (GDA style: the wide product terms behind §4.2's delay penalty).
 
     ``truncation`` OR-reduces the low bits and injects the LOA carry rule;
-    ``error_detect`` emits the §3.3 ``ERR`` bus (``cp_i AND co_{i-1}``).
-    Needs-analysis in the sub-adder helpers keeps the output free of dead
-    logic for any window mix.
+    a ``static`` first window generalises it to other fixed gate rules
+    (``hoeraa`` swaps the top OR for a half-adder XOR); ``error_detect``
+    emits the §3.3 ``ERR`` bus (``cp_i AND co_{i-1}``); a ``rectify``
+    stage appends a sparse ripple increment that adds each enabled
+    window's flag back at its ``result_low``.  Needs-analysis in the
+    sub-adder helpers keeps the output free of dead logic for any window
+    mix.
     """
     nl = Netlist(spec.name)
     n = spec.width
     a = nl.add_input_bus("A", n)
     b = nl.add_input_bus("B", n)
 
-    t = spec.truncation
+    static = spec.static_window
+    t = spec.truncation or (static.length if static is not None else 0)
     result: List[Optional[str]] = [None] * n
     for i in range(t):
-        result[i] = nl.or_(a[i], b[i])
+        if static is not None and static.approx == "hoeraa" and i == t - 1:
+            result[i] = nl.xor(a[i], b[i])
+        else:
+            result[i] = nl.or_(a[i], b[i])
     trunc_cin = nl.and_(a[t - 1], b[t - 1]) if t else None
 
-    windows = spec.windows
+    windows = spec.windows[1:] if static is not None else spec.windows
     detect = spec.error_detect
     carry_outs: List[Optional[str]] = []
     predicts: List[Optional[str]] = []
@@ -418,12 +426,40 @@ def build_spec(spec: "AdderSpec") -> Netlist:  # noqa: F821
         else:
             predicts.append(None)
 
-    nl.set_output_bus("S", result + [carry_outs[-1]])
+    err: List[str] = []
     if detect:
         err = [
             nl.and_(predicts[i], carry_outs[i - 1])
             for i in range(1, len(windows))
         ]
+
+    bits: List[Optional[str]] = result + [carry_outs[-1]]
+    if spec.rectify is not None:
+        # Rectification stage: ripple-add the flag word (each enabled
+        # window's ERR flag at its result_low) into the sum.  Between
+        # taps the increment is a half-adder chain; the final carry out
+        # of bit N is provably never set (rectification only cancels
+        # negative miss errors), so it is not built at all.
+        taps = {windows[i].result_low: err[i - 1]
+                for i in spec.rectified_windows()}
+        carry: Optional[str] = None
+        for j in range(min(taps), n + 1):
+            add = taps.get(j)
+            if add is not None and carry is not None:
+                p = nl.xor(bits[j], add)
+                g = nl.and_(bits[j], add, group="carry")
+                bits[j] = nl.xor(p, carry, group="carry")
+                if j < n:
+                    chain = nl.and_(p, carry, group="carry")
+                    carry = nl.or_(g, chain, group="carry")
+            elif add is not None or carry is not None:
+                inc = add if add is not None else carry
+                s = nl.xor(bits[j], inc)
+                carry = nl.and_(bits[j], inc, group="carry") if j < n else None
+                bits[j] = s
+
+    nl.set_output_bus("S", bits)
+    if detect:
         nl.set_output_bus("ERR", err)
     return nl
 

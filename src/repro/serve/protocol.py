@@ -16,7 +16,10 @@ a model object:
 * ``{"adder": {"gear": [12, 4, 4]}}`` — an arbitrary GeAr(N, R, P)
   configuration,
 * ``{"adder": {"spec": {...}}}`` — a full round-trippable
-  :class:`~repro.spec.ir.AdderSpec` document.
+  :class:`~repro.spec.ir.AdderSpec` document (version 1 or 2; v2
+  documents may declare static windows and a rectify stage, and a
+  rectified spec's request digest never coalesces with its unrectified
+  twin because the two fingerprints differ).
 
 The remaining fields mirror :class:`~repro.engine.api.EvalRequest`:
 ``mode`` (``monte_carlo``/``exhaustive`` — ``fixed`` replays local

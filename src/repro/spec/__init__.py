@@ -14,45 +14,68 @@ from repro.spec.catalog import (
     aca1_spec,
     aca2_spec,
     catalog_spec,
+    cesa_rect_spec,
     etaii_spec,
     etaiim_spec,
     exact_spec,
     gda_spec,
     gear_spec,
     hetero_spec,
+    hoeraa_spec,
     loa_spec,
+    loa_static_spec,
     spec_adder,
 )
 from repro.spec.ir import (
     ARCHS,
+    KINDS,
     PREDS,
+    RECTIFY_KINDS,
     SPEC_VERSION,
+    STATIC_APPROX,
+    SUPPORTED_SPEC_VERSIONS,
     AdderSpec,
     ErrorTerms,
+    RectifySpec,
     WindowSpec,
 )
-from repro.spec.model import SpecAdder, TruncatedSpecAdder
+from repro.spec.model import (
+    RectifiedSpecAdder,
+    SpecAdder,
+    StaticSpecAdder,
+    TruncatedSpecAdder,
+)
 
 __all__ = [
     "ARCHS",
+    "KINDS",
     "PREDS",
+    "RECTIFY_KINDS",
     "SPEC_VERSION",
+    "STATIC_APPROX",
+    "SUPPORTED_SPEC_VERSIONS",
     "AdderSpec",
     "ErrorTerms",
+    "RectifySpec",
     "WindowSpec",
+    "RectifiedSpecAdder",
     "SpecAdder",
+    "StaticSpecAdder",
     "TruncatedSpecAdder",
     "SPEC_CATALOG",
     "SpecFamily",
     "aca1_spec",
     "aca2_spec",
     "catalog_spec",
+    "cesa_rect_spec",
     "etaii_spec",
     "etaiim_spec",
     "exact_spec",
     "gda_spec",
     "gear_spec",
     "hetero_spec",
+    "hoeraa_spec",
     "loa_spec",
+    "loa_static_spec",
     "spec_adder",
 ]

@@ -15,10 +15,10 @@ the paper's Table I/II area and delay orderings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional
 
-from repro.spec.ir import AdderSpec, WindowSpec
+from repro.spec.ir import AdderSpec, RectifySpec, WindowSpec
 from repro.utils.validation import check_pos_int
 
 
@@ -183,6 +183,71 @@ def loa_spec(n: int, approx_bits: int,
     return AdderSpec(spec_name, n, (window,), truncation=approx_bits)
 
 
+def loa_static_spec(n: int, approx_bits: int,
+                    name: Optional[str] = None) -> AdderSpec:
+    """LOA declared through the IR v2 static-window spelling.
+
+    Behaviourally the twin of :func:`loa_spec` (same OR rule, same carry
+    into the exact part), but the approximated low bits are a first-class
+    ``static`` window instead of the legacy ``truncation`` field — the
+    form every other fixed low-part rule (HOERAA, ...) uses.
+    """
+    check_pos_int("n", n)
+    if not 1 <= approx_bits < n:
+        raise ValueError(f"approx_bits must be in [1, {n}), got {approx_bits}")
+    windows = (
+        WindowSpec(0, approx_bits - 1, 0, approx_bits - 1,
+                   kind="static", approx="or"),
+        WindowSpec(approx_bits, n - 1, approx_bits, n - 1),
+    )
+    return AdderSpec(name or f"loa_static_{n}_{approx_bits}", n, windows)
+
+
+def hoeraa_spec(n: int, approx_bits: int,
+                name: Optional[str] = None) -> AdderSpec:
+    """HOERAA (Balasubramanian & Maskell): OR low bits, half-adder top.
+
+    The low ``approx_bits - 1`` sum bits are ``a | b``; the top static
+    bit is the half-adder sum ``a ^ b`` whose carry ``a & b`` feeds the
+    exact ripple part above — confining the static error to the bits
+    strictly below the boundary (|error| < ``2**(approx_bits-1)``),
+    where LOA's plain OR rule can also miss the boundary carry itself.
+    """
+    check_pos_int("n", n)
+    if not 1 <= approx_bits < n:
+        raise ValueError(f"approx_bits must be in [1, {n}), got {approx_bits}")
+    windows = (
+        WindowSpec(0, approx_bits - 1, 0, approx_bits - 1,
+                   kind="static", approx="hoeraa"),
+        WindowSpec(approx_bits, n - 1, approx_bits, n - 1),
+    )
+    return AdderSpec(name or f"hoeraa_{n}_{approx_bits}", n, windows)
+
+
+def cesa_rect_spec(n: int, r: int = 2, p: int = 2,
+                   name: Optional[str] = None) -> AdderSpec:
+    """A carry-estimating speculative adder with partial rectification.
+
+    GeAr(N, R, P) geometry with the §3.3 flags compiled in, plus an IR v2
+    ``rectify`` stage that adds the flags of the *top half* of the
+    speculative windows back into the sum (à la Bhattacharjya et al.,
+    arXiv 2008.11591: spend the correction hardware where a missed carry
+    costs the most).  The untouched low windows keep their error events,
+    so the family still exercises the full analytic DP.
+    """
+    base = gear_spec(n, r, p, allow_partial=True, error_detect=True)
+    k = len(base.windows)
+    if k < 2:
+        raise ValueError(
+            f"cesa_rect needs a speculative window to rectify; "
+            f"GeAr({n}, {r}, {p}) has only one window"
+        )
+    spec_count = k - 1
+    enabled = tuple(range(k - (spec_count + 1) // 2, k))
+    return replace(base, name=name or f"cesa_rect_{n}_{r}_{p}",
+                   rectify=RectifySpec(kind="ripple", enabled=enabled))
+
+
 #: Result-chunk cycle of the heterogeneous family: (result bits, sub-adder
 #: architecture, prediction realisation, prediction depth).  Mixes every
 #: arch and every prediction style the compiler supports, so one family
@@ -249,6 +314,8 @@ def _catalog_entries() -> List[SpecFamily]:
         SpecFamily("gear_r2p4", "GeAr(N, 2, 4) — deeper prediction",
                    lambda w: gear_spec(w, 2, 4, allow_partial=True),
                    min_width=8),
+        SpecFamily("cesa_rect", "GeAr(N, 2, 2) + rectified top windows",
+                   lambda w: cesa_rect_spec(w, 2, 2), min_width=6),
         SpecFamily("aca1_l4", "ACA-I with L=4 sub-adders",
                    lambda w: aca1_spec(w, 4), min_width=5),
         SpecFamily("aca2_l4", "ACA-II with L=4 sub-adders",
@@ -261,6 +328,10 @@ def _catalog_entries() -> List[SpecFamily]:
                    lambda w: gda_spec(w, 2, 2), min_width=4),
         SpecFamily("loa_half", "LOA, lower half approximated",
                    lambda w: loa_spec(w, w // 2), min_width=2),
+        SpecFamily("loa_static", "LOA as an IR v2 static window",
+                   lambda w: loa_static_spec(w, w // 2), min_width=2),
+        SpecFamily("hoeraa", "HOERAA: OR low part, half-adder top bit",
+                   lambda w: hoeraa_spec(w, w // 2), min_width=2),
         SpecFamily("hetero", "heterogeneous mixed-architecture windows",
                    hetero_spec, min_width=6),
     ]

@@ -41,12 +41,20 @@ DEFAULT_WIDTH = 8
 
 @dataclass(frozen=True)
 class RegisteredAdder:
-    """One conformance target: a named, width-parameterised adder family."""
+    """One conformance target: a named, width-parameterised adder family.
+
+    ``kind`` is the family's stage tag for CLI listings — the spec's
+    :meth:`~repro.spec.ir.AdderSpec.stage_tag` for catalog families
+    (``exact``/``windowed``/``truncated``/``static:<approx>`` with
+    ``+err``/``+rect`` suffixes), ``bespoke`` for hand-written models
+    the IR cannot express.
+    """
 
     key: str
     description: str
     build: Callable[[int], AdderModel]
     min_width: int = 2
+    kind: str = "bespoke"
 
     def __call__(self, width: int) -> AdderModel:
         if width < self.min_width:
@@ -70,6 +78,7 @@ def _from_spec_family(family: SpecFamily) -> RegisteredAdder:
         family.description,
         lambda w, _f=family: _f(w).to_model(),
         min_width=family.min_width,
+        kind=family(family.min_width).stage_tag(),
     )
 
 
